@@ -1,0 +1,556 @@
+package redpatch
+
+// Benchmark harness: one benchmark per table and figure of the paper
+// (DESIGN.md §4 maps them to experiments E1–E11), plus ablation benches
+// for the design choices DESIGN.md calls out (recovery semantics, ASP
+// aggregation strategy, closed-form vs SRN availability). Each benchmark
+// regenerates its artefact per iteration, so ns/op measures the cost of a
+// full reproduction of that table or figure.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"redpatch/internal/attacktree"
+	"redpatch/internal/availability"
+	"redpatch/internal/harm"
+	"redpatch/internal/paperdata"
+	"redpatch/internal/patch"
+	"redpatch/internal/queueing"
+	"redpatch/internal/sim"
+	"redpatch/internal/srn"
+	"redpatch/internal/vulndb"
+)
+
+// BenchmarkTable1VulnerabilityScores scores the full curated dataset
+// (impact, exploitability, base score, criticality) as Table I requires.
+func BenchmarkTable1VulnerabilityScores(b *testing.B) {
+	db := paperdata.VulnDB()
+	vulns := db.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var criticals int
+		for _, v := range vulns {
+			_ = v.Impact()
+			_ = v.ASP()
+			if v.IsCritical(8.0) {
+				criticals++
+			}
+		}
+		// 14 case-study criticals + 2 on the alternative web stack.
+		if criticals != 16 {
+			b.Fatalf("criticals = %d", criticals)
+		}
+	}
+}
+
+// BenchmarkFigure3HARMConstruction builds the two-layered HARMs of
+// Fig. 3: the before-patch model and its patched transformation.
+func BenchmarkFigure3HARMConstruction(b *testing.B) {
+	db := paperdata.VulnDB()
+	trees := paperdata.Trees(db)
+	top, err := paperdata.Topology(paperdata.BaseDesign())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := patch.CriticalPolicy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := harm.Build(harm.BuildInput{Topology: top, Trees: trees, TargetRoles: []string{paperdata.RoleDB}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Patched(func(role string, l *attacktree.Leaf) bool {
+			v, ok := db.ByID(l.Ref)
+			return !ok || !pol.Selects(v)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SecurityMetrics evaluates the five security metrics
+// before and after patch on the base network (Table II).
+func BenchmarkTable2SecurityMetrics(b *testing.B) {
+	db := paperdata.VulnDB()
+	top, err := paperdata.Topology(paperdata.BaseDesign())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := harm.Build(harm.BuildInput{Topology: top, Trees: paperdata.Trees(db), TargetRoles: []string{paperdata.RoleDB}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := patch.CriticalPolicy()
+	patched, err := h.Patched(func(role string, l *attacktree.Leaf) bool {
+		v, ok := db.ByID(l.Ref)
+		return !ok || !pol.Selects(v)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before, err := h.Evaluate(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		after, err := patched.Evaluate(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if before.NoAP != 8 || after.NoAP != 4 {
+			b.Fatal("wrong path counts")
+		}
+	}
+}
+
+// BenchmarkTable3GuardEvaluation builds the guarded server SRN of Table
+// III and generates its state space (every guard evaluated across the
+// reachability exploration).
+func BenchmarkTable3GuardEvaluation(b *testing.B) {
+	params, _, err := paperdata.ServerParams(paperdata.VulnDB(), paperdata.RoleDNS, patch.CriticalPolicy(), patch.MonthlySchedule())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, _, err := availability.BuildServerSRN(params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := net.Generate(srn.GenerateOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ss.NumTangible() != 27 {
+			b.Fatalf("tangible = %d", ss.NumTangible())
+		}
+	}
+}
+
+// BenchmarkTable4ServerModelSolve solves the DNS server's lower-layer
+// model with the Table IV parameters (state space + CTMC steady state).
+func BenchmarkTable4ServerModelSolve(b *testing.B) {
+	params, _, err := paperdata.ServerParams(paperdata.VulnDB(), paperdata.RoleDNS, patch.CriticalPolicy(), patch.MonthlySchedule())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := availability.SolveServer(params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5AggregatedRates solves and aggregates all four server
+// types (the whole of Table V).
+func BenchmarkTable5AggregatedRates(b *testing.B) {
+	db := paperdata.VulnDB()
+	var params []availability.ServerParams
+	for _, role := range paperdata.Roles() {
+		p, _, err := paperdata.ServerParams(db, role, patch.CriticalPolicy(), patch.MonthlySchedule())
+		if err != nil {
+			b.Fatal(err)
+		}
+		params = append(params, p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range params {
+			sol, err := availability.SolveServer(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := availability.Aggregate(sol); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable6COA solves the upper-layer network model of the base
+// design and evaluates the Table VI reward.
+func BenchmarkTable6COA(b *testing.B) {
+	nm := paperNetworkModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := availability.SolveNetwork(nm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.COA < 0.99 {
+			b.Fatal("implausible COA")
+		}
+	}
+}
+
+// BenchmarkFigure6Scatter regenerates both Fig. 6 panels: five designs
+// evaluated on (ASP, COA) plus the Eq. 3 regions.
+func BenchmarkFigure6Scatter(b *testing.B) {
+	s, ds := caseStudy(b)
+	_ = s
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1 := FilterScatter(ds, ScatterBounds{MaxASP: 0.2, MinCOA: 0.9962})
+		r2 := FilterScatter(ds, ScatterBounds{MaxASP: 0.1, MinCOA: 0.9961})
+		if len(r1) != 2 || len(r2) != 1 {
+			b.Fatal("wrong regions")
+		}
+	}
+}
+
+// BenchmarkFigure6DesignEvaluation measures the full five-design
+// evaluation behind Fig. 6 (security models + availability per design).
+func BenchmarkFigure6DesignEvaluation(b *testing.B) {
+	s, _ := caseStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PaperDesigns(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Radar regenerates both Fig. 7 panels (six metrics per
+// design) plus the Eq. 4 regions.
+func BenchmarkFigure7Radar(b *testing.B) {
+	_, ds := caseStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1 := FilterMulti(ds, MultiBounds{MaxASP: 0.2, MaxNoEV: 9, MaxNoAP: 2, MaxNoEP: 1, MinCOA: 0.9962})
+		r2 := FilterMulti(ds, MultiBounds{MaxASP: 0.1, MaxNoEV: 7, MaxNoAP: 1, MaxNoEP: 1, MinCOA: 0.9961})
+		if len(r1) != 1 || len(r2) != 1 {
+			b.Fatal("wrong regions")
+		}
+	}
+}
+
+// BenchmarkAblationRedundancyPlacement compares the COA gain of placing
+// one redundant server in each tier (paper §IV-C observation 1).
+func BenchmarkAblationRedundancyPlacement(b *testing.B) {
+	nm := paperNetworkModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best := ""
+		bestCOA := 0.0
+		for idx, tier := range nm.Tiers {
+			variant := availability.NetworkModel{Tiers: append([]availability.Tier(nil), nm.Tiers...)}
+			for j := range variant.Tiers {
+				variant.Tiers[j].N = 1
+			}
+			variant.Tiers[idx].N = 2
+			coa, err := availability.ClosedFormCOA(variant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if coa > bestCOA {
+				bestCOA, best = coa, tier.Name
+			}
+		}
+		if best != "app" {
+			b.Fatalf("best placement = %s, want app", best)
+		}
+	}
+}
+
+// BenchmarkAblationRecoverySemantics compares per-server and
+// single-repair recovery in the upper layer.
+func BenchmarkAblationRecoverySemantics(b *testing.B) {
+	nm := paperNetworkModel(b)
+	single := nm
+	single.Recovery = availability.SingleRepair
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		per, err := availability.SolveNetwork(nm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ser, err := availability.SolveNetwork(single)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ser.COA > per.COA {
+			b.Fatal("single repair cannot beat per-server recovery")
+		}
+	}
+}
+
+// BenchmarkAblationASPStrategies compares the three ASP aggregation
+// strategies on the patched base network.
+func BenchmarkAblationASPStrategies(b *testing.B) {
+	db := paperdata.VulnDB()
+	top, err := paperdata.Topology(paperdata.BaseDesign())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := harm.Build(harm.BuildInput{Topology: top, Trees: paperdata.Trees(db), TargetRoles: []string{paperdata.RoleDB}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := patch.CriticalPolicy()
+	patched, err := h.Patched(func(role string, l *attacktree.Leaf) bool {
+		v, ok := db.ByID(l.Ref)
+		return !ok || !pol.Selects(v)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	strategies := []harm.ASPStrategy{harm.ASPMaxPath, harm.ASPIndependentPaths, harm.ASPCompromise}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, st := range strategies {
+			if _, err := patched.Evaluate(harm.EvalOptions{Strategy: st}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationClosedFormCOA compares the closed-form COA against the
+// SRN solve it replaces in sweeps.
+func BenchmarkAblationClosedFormCOA(b *testing.B) {
+	nm := paperNetworkModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := availability.ClosedFormCOA(nm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionPatchSchedules sweeps the patch interval (weekly,
+// monthly, quarterly) over the base network (§V extension).
+func BenchmarkExtensionPatchSchedules(b *testing.B) {
+	nm := paperNetworkModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := 0.0
+		for _, interval := range []float64{168, 720, 2160} {
+			variant := availability.NetworkModel{Tiers: append([]availability.Tier(nil), nm.Tiers...)}
+			for j := range variant.Tiers {
+				variant.Tiers[j].LambdaEq = 1 / interval
+			}
+			coa, err := availability.ClosedFormCOA(variant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if coa < prev {
+				b.Fatal("COA must grow with the interval")
+			}
+			prev = coa
+		}
+	}
+}
+
+// BenchmarkExtensionQueueing evaluates user-oriented performance of the
+// web tier under patch (§V extension).
+func BenchmarkExtensionQueueing(b *testing.B) {
+	capacity := queueing.BinomialCapacity(2, 0.99919)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := queueing.ResponseUnderPatch(1000, 900, capacity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionDesignSpace sweeps the 16-design space (1..2 replicas
+// per tier) with closed-form COA — the §V "larger systems" extension.
+func BenchmarkExtensionDesignSpace(b *testing.B) {
+	nm := paperNetworkModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		for dns := 1; dns <= 2; dns++ {
+			for web := 1; web <= 2; web++ {
+				for app := 1; app <= 2; app++ {
+					for db := 1; db <= 2; db++ {
+						variant := availability.NetworkModel{Tiers: append([]availability.Tier(nil), nm.Tiers...)}
+						variant.Tiers[0].N = dns
+						variant.Tiers[1].N = web
+						variant.Tiers[2].N = app
+						variant.Tiers[3].N = db
+						if _, err := availability.ClosedFormCOA(variant); err != nil {
+							b.Fatal(err)
+						}
+						count++
+					}
+				}
+			}
+		}
+		if count != 16 {
+			b.Fatal("wrong design count")
+		}
+	}
+}
+
+// BenchmarkSimulationValidation runs the Monte-Carlo cross-validation of
+// the upper-layer model (short horizon per iteration).
+func BenchmarkSimulationValidation(b *testing.B) {
+	nm := paperNetworkModel(b)
+	net, ups, err := availability.BuildNetworkSRN(nm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reward := availability.COAReward(nm, ups)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.EstimateReward(net, reward, sim.Options{Horizon: 2000, Batches: 2, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalabilityHARM measures security-model evaluation as the
+// network grows: n replicas in every tier multiply the attack paths
+// (n^3(n+1) of them), the scalability pressure the HARM literature
+// targets.
+func BenchmarkScalabilityHARM(b *testing.B) {
+	db := paperdata.VulnDB()
+	trees := paperdata.Trees(db)
+	for _, n := range []int{1, 2, 3, 4} {
+		n := n
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			top, err := paperdata.Topology(paperdata.Design{Name: "scale", DNS: n, Web: n, App: n, DB: n})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := harm.Build(harm.BuildInput{Topology: top, Trees: trees, TargetRoles: []string{paperdata.RoleDB}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Path-OR aggregation keeps the bench about enumeration, not
+			// about the exponential exact computation.
+			opts := harm.EvalOptions{Strategy: harm.ASPIndependentPaths}
+			wantPaths := n * n * n * (n + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := h.Evaluate(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.NoAP != wantPaths {
+					b.Fatalf("paths = %d, want %d", m.NoAP, wantPaths)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalabilitySRN measures upper-layer availability solving as
+// replica counts grow: the CTMC has (n+1)^4 states.
+func BenchmarkScalabilitySRN(b *testing.B) {
+	base := paperNetworkModel(b)
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			nm := availability.NetworkModel{Tiers: append([]availability.Tier(nil), base.Tiers...)}
+			for i := range nm.Tiers {
+				nm.Tiers[i].N = n
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := availability.SolveNetwork(nm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				want := (n + 1) * (n + 1) * (n + 1) * (n + 1)
+				if sol.States != want {
+					b.Fatalf("states = %d, want %d", sol.States, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionTransientCOA measures the availability trajectory
+// computation (uniformization over the 36-state base network).
+func BenchmarkExtensionTransientCOA(b *testing.B) {
+	nm := paperNetworkModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := availability.TransientCOA(nm, 720); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionCampaign measures multi-round campaign planning for
+// all four server roles under a 35-minute window.
+func BenchmarkExtensionCampaign(b *testing.B) {
+	db := paperdata.VulnDB()
+	roleVulns := make(map[string][]vulndb.Vulnerability, 4)
+	for _, role := range paperdata.Roles() {
+		vulns, err := paperdata.VulnsForRole(db, role)
+		if err != nil {
+			b.Fatal(err)
+		}
+		roleVulns[role] = vulns
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for role, vulns := range roleVulns {
+			camp, err := patch.PlanCampaign(role, vulns, patch.CriticalPolicy(), patch.MonthlySchedule(), 35*time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if camp.TotalRounds() == 0 {
+				b.Fatal("empty campaign")
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionPatchPrioritization measures the greedy
+// vulnerability-ranking extension on the base network.
+func BenchmarkExtensionPatchPrioritization(b *testing.B) {
+	db := paperdata.VulnDB()
+	top, err := paperdata.Topology(paperdata.BaseDesign())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := harm.Build(harm.BuildInput{Topology: top, Trees: paperdata.Trees(db), TargetRoles: []string{paperdata.RoleDB}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.RankPatchCandidates(harm.EvalOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// paperNetworkModel returns the aggregated base-design network model,
+// cached across benchmarks.
+func paperNetworkModel(b *testing.B) availability.NetworkModel {
+	b.Helper()
+	paperNMOnce.Do(func() {
+		db := paperdata.VulnDB()
+		var params []availability.ServerParams
+		for _, role := range paperdata.Roles() {
+			p, _, err := paperdata.ServerParams(db, role, patch.CriticalPolicy(), patch.MonthlySchedule())
+			if err != nil {
+				paperNMErr = err
+				return
+			}
+			params = append(params, p)
+		}
+		paperNM, _, paperNMErr = availability.SolveServerTiers(params, paperdata.BaseDesign().Counts())
+	})
+	if paperNMErr != nil {
+		b.Fatal(paperNMErr)
+	}
+	return paperNM
+}
+
+var (
+	paperNM     availability.NetworkModel
+	paperNMErr  error
+	paperNMOnce sync.Once
+)

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBaseNetwork(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 2, 2, 1, 720, "per-server", false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"0.997072", // Table VI COA
+		"0.6667",   // dns MTTR
+		"36",       // CTMC states
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSemantics(t *testing.T) {
+	var per, single bytes.Buffer
+	if err := run(&per, 1, 2, 2, 1, 720, "per-server", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&single, 1, 2, 2, 1, 720, "single-repair", false); err != nil {
+		t.Fatal(err)
+	}
+	if per.String() == single.String() {
+		t.Error("recovery semantics must influence the result")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 1, 1, 1, 720, "bogus", false); err == nil {
+		t.Error("unknown semantics should fail")
+	}
+}
+
+func TestRunSimulation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 1, 1, 1, 720, "per-server", true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "simulated COA") {
+		t.Error("simulation output missing")
+	}
+}
+
+func TestRunRejectsBadDesign(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 1, 1, 1, 720, "per-server", false); err == nil {
+		t.Error("invalid design should fail")
+	}
+}

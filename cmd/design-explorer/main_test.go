@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redpatch"
+)
+
+func TestRunExploresSpace(t *testing.T) {
+	var buf bytes.Buffer
+	cost := redpatch.CostModel{ServerPerMonth: 400, DowntimePerHour: 2000, BreachLoss: 50000}
+	if err := run(&buf, 2, 0.2, 0.9962, 0, 0, 0, cost); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"16 designs",
+		"Eq. 3 bounds",
+		"Pareto front",
+		"cost-optimal design",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunMultiBounds(t *testing.T) {
+	var buf bytes.Buffer
+	cost := redpatch.CostModel{ServerPerMonth: 400, DowntimePerHour: 2000, BreachLoss: 50000}
+	if err := run(&buf, 2, 0.2, 0.9962, 9, 2, 1, cost); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Eq. 4 bounds") {
+		t.Error("Eq. 4 path not taken")
+	}
+}
+
+func TestRunUnsatisfiableBounds(t *testing.T) {
+	var buf bytes.Buffer
+	cost := redpatch.CostModel{ServerPerMonth: 1}
+	if err := run(&buf, 2, 0.000001, 0.99999, 0, 0, 0, cost); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no design satisfies the bounds") {
+		t.Error("unsatisfiable bounds should fall back to the whole space")
+	}
+}

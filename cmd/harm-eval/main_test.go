@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBaseDesign(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 2, 2, 1, "compromise", 8.0, true, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"1 DNS + 2 WEB + 2 APP + 1 DB",
+		"AIM", "52.2", "42.2",
+		"attacker -> dns1 -> web1 -> app1 -> db1",
+		"digraph",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	for _, s := range []string{"maxpath", "independent", "compromise"} {
+		var buf bytes.Buffer
+		if err := run(&buf, 1, 1, 1, 1, s, 8.0, false, false); err != nil {
+			t.Errorf("strategy %s: %v", s, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 1, 1, 1, "bogus", 8.0, false, false); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestRunRejectsBadDesign(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 1, 1, 1, "compromise", 8.0, false, false); err == nil {
+		t.Error("zero-replica design should fail")
+	}
+}
+
+func TestRunPatchAllThreshold(t *testing.T) {
+	// A threshold of 0 patches everything exploitable above score 0:
+	// after-patch metrics collapse to zero.
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 1, 1, 1, "compromise", 0.0, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NoEV    16            0") {
+		t.Errorf("expected full patch to zero NoEV, got:\n%s", buf.String())
+	}
+}

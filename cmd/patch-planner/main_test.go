@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunPlans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 2, 2, 1, "app", 35, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"CVE-2016-3227", // top-ranked patch
+		"campaign for the app server",
+		"round 1",
+		"mean time to patch-induced service outage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// A 35-minute window cannot fit the app server's 60-minute set.
+	if !strings.Contains(out, "2 round(s)") && !strings.Contains(out, "3 round(s)") {
+		t.Errorf("expected a multi-round campaign:\n%s", out)
+	}
+}
+
+func TestRunTopClamped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 1, 1, 1, 1, "dns", 60, 99); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "top 15 patches") {
+		t.Error("top should clamp to the number of distinct CVEs")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 1, 1, 1, "app", 35, 5); err == nil {
+		t.Error("invalid design should fail")
+	}
+	if err := run(&buf, 1, 1, 1, 1, "mainframe", 35, 5); err == nil {
+		t.Error("unknown role should fail")
+	}
+	if err := run(&buf, 1, 1, 1, 1, "app", 10, 5); err == nil {
+		t.Error("window below reboot overhead should fail")
+	}
+}

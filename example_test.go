@@ -1,0 +1,51 @@
+package redpatch_test
+
+import (
+	"fmt"
+	"log"
+
+	"redpatch"
+)
+
+// Example reproduces the paper's headline numbers through the public API:
+// the base network's capacity oriented availability and the effect of the
+// monthly security patch on the attack surface.
+func Example() {
+	study, err := redpatch.NewCaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := study.BaseNetwork()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %s\n", base.Description)
+	fmt.Printf("COA: %.5f\n", base.COA)
+	fmt.Printf("attack paths: %d -> %d\n", base.Before.NoAP, base.After.NoAP)
+	fmt.Printf("exploitable vulnerabilities: %d -> %d\n", base.Before.NoEV, base.After.NoEV)
+	// Output:
+	// network: 1 DNS + 2 WEB + 2 APP + 1 DB
+	// COA: 0.99707
+	// attack paths: 8 -> 4
+	// exploitable vulnerabilities: 26 -> 11
+}
+
+// ExampleFilterScatter applies the paper's Eq. 3 decision function to the
+// five §IV designs.
+func ExampleFilterScatter() {
+	study, err := redpatch.NewCaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	designs, err := study.PaperDesigns()
+	if err != nil {
+		log.Fatal(err)
+	}
+	region := redpatch.FilterScatter(designs, redpatch.ScatterBounds{MaxASP: 0.2, MinCOA: 0.9962})
+	for _, d := range region {
+		fmt.Println(d.Description)
+	}
+	// Output:
+	// 1 DNS + 1 WEB + 2 APP + 1 DB
+	// 1 DNS + 1 WEB + 1 APP + 2 DB
+}

@@ -1,0 +1,69 @@
+// Designspace: explore a larger redundancy design space than the paper's
+// five choices (its §V "Systems" extension): sweep every design with up to
+// three replicas per tier, find the designs satisfying administrator
+// bounds, compute the security/availability Pareto front, and pick the
+// cost-optimal design under a simple economic model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"redpatch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	study, err := redpatch.NewCaseStudy()
+	if err != nil {
+		return err
+	}
+	designs, err := study.EnumerateDesigns(3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("evaluated %d designs (1..3 replicas per tier)\n\n", len(designs))
+
+	// The security/availability trade-off at a glance: extremes.
+	sort.Slice(designs, func(i, j int) bool { return designs[i].COA > designs[j].COA })
+	fmt.Printf("highest COA:   %-30s COA %.6f  ASP %.4f\n",
+		designs[0].Description, designs[0].COA, designs[0].After.ASP)
+	sort.Slice(designs, func(i, j int) bool { return designs[i].After.ASP < designs[j].After.ASP })
+	fmt.Printf("lowest ASP:    %-30s COA %.6f  ASP %.4f\n\n",
+		designs[0].Description, designs[0].COA, designs[0].After.ASP)
+
+	// Administrator bounds (Eq. 3 shape, tightened for the larger space).
+	bounds := redpatch.ScatterBounds{MaxASP: 0.15, MinCOA: 0.9970}
+	ok := redpatch.FilterScatter(designs, bounds)
+	fmt.Printf("designs with ASP <= %.2f and COA >= %.4f: %d\n", bounds.MaxASP, bounds.MinCOA, len(ok))
+	for _, d := range ok {
+		fmt.Printf("  %-30s COA %.6f  ASP %.4f  servers %d\n", d.Description, d.COA, d.After.ASP, d.Servers)
+	}
+	fmt.Println()
+
+	// Pareto front.
+	front := redpatch.Pareto(designs)
+	fmt.Printf("Pareto front (minimize ASP, maximize COA): %d designs\n", len(front))
+	for _, d := range front {
+		fmt.Printf("  %-30s COA %.6f  ASP %.4f\n", d.Description, d.COA, d.After.ASP)
+	}
+	fmt.Println()
+
+	// Economics: servers cost money, downtime costs more, breaches most.
+	cost := redpatch.CostModel{ServerPerMonth: 400, DowntimePerHour: 2000, BreachLoss: 50000}
+	best := designs[0]
+	for _, d := range designs[1:] {
+		if cost.MonthlyCost(d) < cost.MonthlyCost(best) {
+			best = d
+		}
+	}
+	fmt.Printf("cost-optimal design: %s at %.0f/month (COA %.6f, ASP %.4f)\n",
+		best.Description, cost.MonthlyCost(best), best.COA, best.After.ASP)
+	return nil
+}

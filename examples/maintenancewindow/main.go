@@ -1,0 +1,112 @@
+// Maintenancewindow: transient analysis of patching — what happens in the
+// minutes and hours around a patch event, complementing the paper's
+// steady-state COA. Traces a DNS server through its 40-minute window,
+// plots the network's expected capacity as patch rounds begin to arrive,
+// and answers the operator question "how much capacity do I deliver over
+// the first week?" with interval availability.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redpatch/internal/availability"
+	"redpatch/internal/paperdata"
+	"redpatch/internal/patch"
+	"redpatch/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db := paperdata.VulnDB()
+
+	// Part 1: one server through its patch window. The DNS pipeline is
+	// 5 min service patch + 20 min OS patch + 10 min OS reboot + 5 min
+	// service restart, all exponential.
+	params, plan, err := paperdata.ServerParams(db, paperdata.RoleDNS, patch.CriticalPolicy(), patch.MonthlySchedule())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DNS server patch window (%v planned):\n\n", plan.TotalDowntime())
+	minutes := []float64{5, 10, 20, 30, 40, 60, 90, 120, 240}
+	times := make([]float64, len(minutes))
+	for i, m := range minutes {
+		times[i] = m / 60
+	}
+	points, err := availability.PatchWindowTransient(params, times)
+	if err != nil {
+		return err
+	}
+	window := report.NewTable("time since patch trigger", "minutes", "P(service up)", "P(still patching)")
+	for _, p := range points {
+		window.AddRow(report.F(p.Hours*60, 0), report.F(p.ServiceUp, 4), report.F(p.PatchDown, 4))
+	}
+	fmt.Println(window.Render())
+
+	// Part 2: network capacity over time from a fresh (all-up) start.
+	var tiers []availability.Tier
+	for _, role := range paperdata.Roles() {
+		p, _, err := paperdata.ServerParams(db, role, patch.CriticalPolicy(), patch.MonthlySchedule())
+		if err != nil {
+			return err
+		}
+		sol, err := availability.SolveServer(p)
+		if err != nil {
+			return err
+		}
+		agg, err := availability.Aggregate(sol)
+		if err != nil {
+			return err
+		}
+		tiers = append(tiers, availability.Tier{
+			Name: role, N: paperdata.BaseDesign().Counts()[role],
+			LambdaEq: agg.LambdaEq, MuEq: agg.MuEq,
+		})
+	}
+	nm := availability.NetworkModel{Tiers: tiers}
+	steady, err := availability.ClosedFormCOA(nm)
+	if err != nil {
+		return err
+	}
+	traj := report.NewTable("expected network capacity from an all-up start",
+		"hours", "COA(t)", "interval COA over [0,t]")
+	for _, t := range []float64{24, 72, 168, 336, 720, 2160} {
+		at, err := availability.TransientCOA(nm, t)
+		if err != nil {
+			return err
+		}
+		iv, err := availability.IntervalCOA(nm, t)
+		if err != nil {
+			return err
+		}
+		traj.AddRow(report.F(t, 0), report.F(at, 6), report.F(iv, 6))
+	}
+	fmt.Println(traj.Render())
+	fmt.Printf("steady-state COA: %.6f — the trajectory approaches it from above as the\n", steady)
+	fmt.Println("per-server monthly patch clocks desynchronize.")
+
+	// Part 3: where does the downtime come from per server type?
+	causes := report.NewTable("steady-state downtime decomposition per server type",
+		"server", "P(down, patching)", "P(down, failure)", "patch share of downtime")
+	for _, role := range paperdata.Roles() {
+		p, _, err := paperdata.ServerParams(db, role, patch.CriticalPolicy(), patch.MonthlySchedule())
+		if err != nil {
+			return err
+		}
+		sol, err := availability.SolveServer(p)
+		if err != nil {
+			return err
+		}
+		causes.AddRow(role, report.F(sol.PatchDown, 6), report.F(sol.FailureDown, 6),
+			report.F(sol.DowntimeShare(), 3))
+	}
+	fmt.Println(causes.Render())
+	fmt.Println("The paper's upper-layer COA model isolates the patch share; failures are the")
+	fmt.Println("larger cause in absolute terms but affect every design identically.")
+	return nil
+}

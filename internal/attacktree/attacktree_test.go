@@ -1,0 +1,230 @@
+package attacktree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redpatch/internal/mathx"
+)
+
+// webTree reproduces the paper's web-server attack tree:
+// OR(v1, v2, v3, AND(v4, v5)) with the Table I values.
+func webTree() *Tree {
+	return New(NewOR(
+		NewLeaf("v1web", 10.0, 1.0),
+		NewLeaf("v2web", 10.0, 1.0),
+		NewLeaf("v3web", 10.0, 1.0),
+		NewAND(
+			NewLeaf("v4web", 2.9, 1.0),
+			NewLeaf("v5web", 10.0, 0.39),
+		),
+	))
+}
+
+func TestImpactPaperExample(t *testing.T) {
+	// Paper §III-C: aim(web1) = max(10.0, 10.0, 10.0, 12.9) = 12.9.
+	if got := webTree().Impact(); got != 12.9 {
+		t.Errorf("Impact = %v, want 12.9", got)
+	}
+}
+
+func TestProbabilityRules(t *testing.T) {
+	tr := webTree()
+	if got := tr.Probability(ORMax); got != 1.0 {
+		t.Errorf("Probability(ORMax) = %v, want 1.0", got)
+	}
+	// After dropping v1..v3 only AND(v4, v5) remains: 1.0 * 0.39.
+	pruned := tr.Prune(func(l *Leaf) bool { return l.Ref == "v4web" || l.Ref == "v5web" })
+	if got := pruned.Probability(ORMax); !mathx.AlmostEqual(got, 0.39, 1e-12) {
+		t.Errorf("pruned Probability = %v, want 0.39", got)
+	}
+	if got := pruned.Impact(); got != 12.9 {
+		t.Errorf("pruned Impact = %v, want 12.9 (2.9 + 10.0)", got)
+	}
+}
+
+func TestNoisyOR(t *testing.T) {
+	tr := New(NewOR(NewLeaf("a", 1, 0.5), NewLeaf("b", 1, 0.5)))
+	if got := tr.Probability(ORNoisy); !mathx.AlmostEqual(got, 0.75, 1e-12) {
+		t.Errorf("Probability(ORNoisy) = %v, want 0.75", got)
+	}
+	if got := tr.Probability(ORMax); got != 0.5 {
+		t.Errorf("Probability(ORMax) = %v, want 0.5", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	empty := New(nil)
+	if !empty.Empty() {
+		t.Error("tree with nil root should be empty")
+	}
+	if empty.Impact() != 0 || empty.Probability(ORMax) != 0 {
+		t.Error("empty tree metrics should be 0")
+	}
+	if empty.Leaves() != nil {
+		t.Error("empty tree has no leaves")
+	}
+	if empty.String() != "∅" {
+		t.Errorf("empty tree String = %q", empty.String())
+	}
+	if err := empty.Validate(); err != nil {
+		t.Errorf("empty tree should validate: %v", err)
+	}
+	var nilTree *Tree
+	if !nilTree.Empty() {
+		t.Error("nil *Tree should be empty")
+	}
+}
+
+func TestPruneANDSemantics(t *testing.T) {
+	// Removing one AND child kills the whole conjunction.
+	tr := New(NewAND(NewLeaf("a", 1, 1), NewLeaf("b", 2, 1)))
+	pruned := tr.Prune(func(l *Leaf) bool { return l.Ref == "a" })
+	if !pruned.Empty() {
+		t.Errorf("pruned AND should be empty, got %v", pruned)
+	}
+}
+
+func TestPruneORSemantics(t *testing.T) {
+	tr := New(NewOR(NewLeaf("a", 1, 0.5), NewLeaf("b", 2, 0.7)))
+	pruned := tr.Prune(func(l *Leaf) bool { return l.Ref == "b" })
+	if pruned.Empty() {
+		t.Fatal("OR with one surviving child should remain")
+	}
+	if got := pruned.Impact(); got != 2 {
+		t.Errorf("pruned Impact = %v, want 2", got)
+	}
+	all := tr.Prune(func(l *Leaf) bool { return false })
+	if !all.Empty() {
+		t.Error("pruning every leaf should empty the tree")
+	}
+}
+
+func TestPruneNested(t *testing.T) {
+	// The paper's database tree: OR(v1, v2, AND(v3, v4), v5); patching
+	// v1 and v2 must keep OR(AND(v3, v4), v5).
+	tr := New(NewOR(
+		NewLeaf("v1db", 10.0, 1.0),
+		NewLeaf("v2db", 10.0, 1.0),
+		NewAND(NewLeaf("v3db", 2.9, 0.86), NewLeaf("v4db", 10.0, 0.39)),
+		NewLeaf("v5db", 10.0, 0.39),
+	))
+	critical := map[string]bool{"v1db": true, "v2db": true}
+	pruned := tr.Prune(func(l *Leaf) bool { return !critical[l.Ref] })
+	if got := pruned.Impact(); got != 12.9 {
+		t.Errorf("pruned db Impact = %v, want 12.9", got)
+	}
+	if got := len(pruned.Leaves()); got != 3 {
+		t.Errorf("pruned db leaves = %d, want 3", got)
+	}
+	if got := pruned.Probability(ORMax); got != 0.39 {
+		t.Errorf("pruned db Probability(ORMax) = %v, want 0.39", got)
+	}
+}
+
+func TestPruneDoesNotMutateOriginal(t *testing.T) {
+	tr := webTree()
+	before := tr.String()
+	_ = tr.Prune(func(l *Leaf) bool { return false })
+	if tr.String() != before {
+		t.Error("Prune must not mutate the receiver")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	got := webTree().Leaves()
+	if len(got) != 5 {
+		t.Fatalf("Leaves = %d, want 5", len(got))
+	}
+	if got[0].Ref != "v1web" || got[4].Ref != "v5web" {
+		t.Errorf("Leaves order wrong: %v, %v", got[0].Ref, got[4].Ref)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tr := webTree()
+	cl := tr.Clone()
+	cl.Leaves()[0].Impact = 99
+	if tr.Leaves()[0].Impact == 99 {
+		t.Error("Clone must copy leaves")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		tree    *Tree
+		wantErr bool
+	}{
+		{name: "ok", tree: webTree(), wantErr: false},
+		{name: "emptyGate", tree: New(NewOR()), wantErr: true},
+		{name: "badProb", tree: New(NewLeaf("x", 1, 1.5)), wantErr: true},
+		{name: "negImpact", tree: New(NewLeaf("x", -1, 0.5)), wantErr: true},
+		{name: "emptyRef", tree: New(NewLeaf("", 1, 0.5)), wantErr: true},
+		{name: "badOp", tree: New(&Gate{Op: 0, Children: []Node{NewLeaf("x", 1, 1)}}), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.tree.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestString(t *testing.T) {
+	want := "OR(v1web, v2web, v3web, AND(v4web, v5web))"
+	if got := webTree().String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func randomTree(rng *rand.Rand, depth int) Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return NewLeaf("v", rng.Float64()*10, rng.Float64())
+	}
+	n := 1 + rng.Intn(3)
+	children := make([]Node, n)
+	for i := range children {
+		children[i] = randomTree(rng, depth-1)
+	}
+	if rng.Intn(2) == 0 {
+		return NewOR(children...)
+	}
+	return NewAND(children...)
+}
+
+// TestProbabilityBounds: probabilities stay in [0,1] and noisy-OR
+// dominates max-OR on every tree.
+func TestProbabilityBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(randomTree(rng, 4))
+		pMax := tr.Probability(ORMax)
+		pNoisy := tr.Probability(ORNoisy)
+		if pMax < 0 || pMax > 1 || pNoisy < 0 || pNoisy > 1 {
+			return false
+		}
+		return pNoisy >= pMax-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPruneMonotonicity: pruning can never increase impact or probability.
+func TestPruneMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(randomTree(rng, 4))
+		pruned := tr.Prune(func(l *Leaf) bool { return rng.Intn(2) == 0 })
+		if pruned.Impact() > tr.Impact()+1e-12 {
+			return false
+		}
+		return pruned.Probability(ORMax) <= tr.Probability(ORMax)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package attacktree_test
+
+import (
+	"fmt"
+
+	"redpatch/internal/attacktree"
+)
+
+// Example builds the paper's web-server attack tree and applies the
+// security-patch transformation: the three critical exploits disappear
+// and only the AND-chained pair survives.
+func Example() {
+	tree := attacktree.New(attacktree.NewOR(
+		attacktree.NewLeaf("v1web", 10.0, 1.0),
+		attacktree.NewLeaf("v2web", 10.0, 1.0),
+		attacktree.NewLeaf("v3web", 10.0, 1.0),
+		attacktree.NewAND(
+			attacktree.NewLeaf("v4web", 2.9, 1.0),
+			attacktree.NewLeaf("v5web", 10.0, 0.39),
+		),
+	))
+	fmt.Printf("before: impact %.1f prob %.2f\n", tree.Impact(), tree.Probability(attacktree.ORMax))
+
+	critical := map[string]bool{"v1web": true, "v2web": true, "v3web": true}
+	patched := tree.Prune(func(l *attacktree.Leaf) bool { return !critical[l.Ref] })
+	fmt.Printf("after:  impact %.1f prob %.2f (%s)\n",
+		patched.Impact(), patched.Probability(attacktree.ORMax), patched)
+	// Output:
+	// before: impact 12.9 prob 1.00
+	// after:  impact 12.9 prob 0.39 (OR(AND(v4web, v5web)))
+}

@@ -1,0 +1,537 @@
+package availability
+
+import (
+	"fmt"
+	"math"
+
+	"redpatch/internal/ctmc"
+	"redpatch/internal/mathx"
+	"redpatch/internal/srn"
+)
+
+// Tier is one redundancy group of identical servers in the upper-layer
+// network model: N servers that each go down for patching at rate
+// LambdaEq and come back at rate MuEq (the aggregated rates of the
+// lower-layer model).
+type Tier struct {
+	// Name labels the tier, e.g. "web".
+	Name string
+	// N is the number of redundant servers (paper: 1 or 2).
+	N int
+	// LambdaEq and MuEq are the aggregated per-server patch and recovery
+	// rates per hour. A tier with LambdaEq == 0 never patches and is
+	// always fully up.
+	LambdaEq, MuEq float64
+	// Group names the logical service tier this group of servers belongs
+	// to; it defaults to Name. Heterogeneous redundancy (paper §V) is
+	// modelled as several tiers sharing a Group: the service is up while
+	// at least one server across the group is up, even though the
+	// replicas patch and recover at different rates.
+	Group string
+}
+
+// group returns the effective logical tier.
+func (t Tier) group() string {
+	if t.Group != "" {
+		return t.Group
+	}
+	return t.Name
+}
+
+// Validate checks tier sanity.
+func (t Tier) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("availability: tier with empty name")
+	}
+	if t.N <= 0 {
+		return fmt.Errorf("availability: tier %s: non-positive size %d", t.Name, t.N)
+	}
+	if t.LambdaEq < 0 {
+		return fmt.Errorf("availability: tier %s: negative lambda", t.Name)
+	}
+	if t.LambdaEq > 0 && t.MuEq <= 0 {
+		return fmt.Errorf("availability: tier %s: patching without recovery", t.Name)
+	}
+	return nil
+}
+
+// RecoverySemantics selects how simultaneous patch outages within a tier
+// recover.
+type RecoverySemantics int
+
+// Recovery semantics values.
+const (
+	// PerServer lets every down server recover independently (rate
+	// mu * #down): each server runs its own patch pipeline. This matches
+	// the independence of per-server patch clocks in the lower-layer
+	// model and reproduces the paper's Table VI value; it is the default.
+	PerServer RecoverySemantics = iota + 1
+	// SingleRepair serializes recoveries (rate mu regardless of #down),
+	// modelling a single operations team; provided as an ablation.
+	SingleRepair
+)
+
+// NetworkModel is the upper-layer SRN input: one Tier per server type.
+type NetworkModel struct {
+	Tiers    []Tier
+	Recovery RecoverySemantics // zero value selects PerServer
+	// Quorum optionally raises the number of servers a logical group
+	// needs for the service to count as up (k-out-of-n, e.g. a database
+	// cluster needing a majority), keyed by group name. Groups absent
+	// from the map need one server (the paper's Table VI semantics).
+	Quorum map[string]int
+}
+
+// quorumOf returns the required up-count of a group.
+func (nm NetworkModel) quorumOf(group string) int {
+	if q, ok := nm.Quorum[group]; ok {
+		return q
+	}
+	return 1
+}
+
+func (nm NetworkModel) recovery() RecoverySemantics {
+	if nm.Recovery == 0 {
+		return PerServer
+	}
+	return nm.Recovery
+}
+
+// Validate checks the model.
+func (nm NetworkModel) Validate() error {
+	if len(nm.Tiers) == 0 {
+		return fmt.Errorf("availability: network model with no tiers")
+	}
+	seen := make(map[string]bool, len(nm.Tiers))
+	for _, t := range nm.Tiers {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("availability: duplicate tier %s", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	if r := nm.recovery(); r != PerServer && r != SingleRepair {
+		return fmt.Errorf("availability: invalid recovery semantics %d", r)
+	}
+	if len(nm.Quorum) > 0 {
+		groupSize := make(map[string]int)
+		for _, t := range nm.Tiers {
+			groupSize[t.group()] += t.N
+		}
+		for group, q := range nm.Quorum {
+			size, ok := groupSize[group]
+			if !ok {
+				return fmt.Errorf("availability: quorum for unknown group %q", group)
+			}
+			if q < 1 || q > size {
+				return fmt.Errorf("availability: quorum %d for group %q outside [1, %d]", q, group, size)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalServers returns the number of servers across tiers.
+func (nm NetworkModel) TotalServers() int {
+	n := 0
+	for _, t := range nm.Tiers {
+		n += t.N
+	}
+	return n
+}
+
+// BuildNetworkSRN constructs the upper-layer SRN of the paper's Fig. 4:
+// per tier an up-place initially holding N tokens and a down place, with a
+// marking-dependent patch transition (rate lambda_eq * #up, as the paper
+// specifies) and a recovery transition whose rate depends on the recovery
+// semantics. It returns the net and the up-places per tier in input
+// order.
+func BuildNetworkSRN(nm NetworkModel) (*srn.Net, []*srn.Place, error) {
+	if err := nm.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := srn.New("network")
+	ups := make([]*srn.Place, len(nm.Tiers))
+	for i, t := range nm.Tiers {
+		t := t
+		up := n.AddPlace("P"+t.Name+"up", t.N)
+		down := n.AddPlace("P"+t.Name+"d", 0)
+		ups[i] = up
+		if t.LambdaEq == 0 {
+			continue // tier never patches
+		}
+		n.AddTimedTransition("T"+t.Name+"d", 0).From(up).To(down).
+			WithRateFunc(func(m srn.Marking) float64 { return t.LambdaEq * float64(m.Tokens(up)) })
+		switch nm.recovery() {
+		case SingleRepair:
+			n.AddTimedTransition("T"+t.Name+"up", t.MuEq).From(down).To(up)
+		default: // PerServer
+			n.AddTimedTransition("T"+t.Name+"up", 0).From(down).To(up).
+				WithRateFunc(func(m srn.Marking) float64 { return t.MuEq * float64(m.Tokens(down)) })
+		}
+	}
+	return n, ups, nil
+}
+
+// COAReward generalizes the paper's Table VI reward function: a marking
+// earns (#servers up / #servers total) when every logical tier (group)
+// meets its quorum (by default one server up), and zero otherwise (the
+// end-to-end service is down, so no capacity is delivered). With
+// homogeneous tiers and default quorums this reduces to Table VI exactly.
+func COAReward(nm NetworkModel, ups []*srn.Place) srn.RewardFunc {
+	total := float64(nm.TotalServers())
+	groups := groupIndices(nm)
+	quorums := make([]int, len(groups))
+	for g, idxs := range groups {
+		quorums[g] = nm.quorumOf(nm.Tiers[idxs[0]].group())
+	}
+	return func(m srn.Marking) float64 {
+		upCount := 0
+		for g, idxs := range groups {
+			groupUp := 0
+			for _, i := range idxs {
+				groupUp += m.Tokens(ups[i])
+			}
+			if groupUp < quorums[g] {
+				return 0
+			}
+			upCount += groupUp
+		}
+		return float64(upCount) / total
+	}
+}
+
+// groupIndices returns tier indices per logical group in deterministic
+// (first appearance) order.
+func groupIndices(nm NetworkModel) [][]int {
+	order := make(map[string]int)
+	var groups [][]int
+	for i, t := range nm.Tiers {
+		g := t.group()
+		idx, ok := order[g]
+		if !ok {
+			idx = len(groups)
+			order[g] = idx
+			groups = append(groups, nil)
+		}
+		groups[idx] = append(groups[idx], i)
+	}
+	return groups
+}
+
+// NetworkSolution reports the upper-layer results.
+type NetworkSolution struct {
+	// COA is the capacity oriented availability (expected steady-state
+	// reward of the Table VI function).
+	COA float64
+	// ServiceAvailability is P(every tier has at least one server up).
+	ServiceAvailability float64
+	// TierAllUp maps tier name to P(every server of the tier up).
+	TierAllUp map[string]float64
+	// States is the size of the generated CTMC.
+	States int
+}
+
+// SolveNetwork builds the upper-layer SRN, solves it, and evaluates COA
+// and the auxiliary availability measures.
+func SolveNetwork(nm NetworkModel) (NetworkSolution, error) {
+	net, ups, err := BuildNetworkSRN(nm)
+	if err != nil {
+		return NetworkSolution{}, err
+	}
+	ss, err := net.Generate(srn.GenerateOptions{})
+	if err != nil {
+		return NetworkSolution{}, err
+	}
+	pi, err := ss.SteadyState(ctmc.SolveOptions{})
+	if err != nil {
+		return NetworkSolution{}, err
+	}
+	sol := NetworkSolution{States: ss.NumTangible(), TierAllUp: make(map[string]float64, len(nm.Tiers))}
+	sol.COA, err = ss.ExpectedReward(pi, COAReward(nm, ups))
+	if err != nil {
+		return NetworkSolution{}, err
+	}
+	groups := groupIndices(nm)
+	quorums := make([]int, len(groups))
+	for g, idxs := range groups {
+		quorums[g] = nm.quorumOf(nm.Tiers[idxs[0]].group())
+	}
+	sol.ServiceAvailability, err = ss.Probability(pi, func(m srn.Marking) bool {
+		for g, idxs := range groups {
+			groupUp := 0
+			for _, i := range idxs {
+				groupUp += m.Tokens(ups[i])
+			}
+			if groupUp < quorums[g] {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return NetworkSolution{}, err
+	}
+	for i, t := range nm.Tiers {
+		p := ups[i]
+		want := t.N
+		sol.TierAllUp[t.Name], err = ss.Probability(pi, func(m srn.Marking) bool { return m.Tokens(p) == want })
+		if err != nil {
+			return NetworkSolution{}, err
+		}
+	}
+	return sol, nil
+}
+
+// ClosedFormCOA computes COA analytically under PerServer semantics:
+// every server is an independent two-state chain with availability
+// a = mu/(lambda+mu), each logical group's up-count distribution is the
+// convolution of its tiers' binomials, and by linearity of expectation
+// over the independent groups
+//
+//	COA = (1/total) * sum_g E[up_g * 1{up_g >= q_g}] * prod_{h != g} P(up_h >= q_h).
+//
+// It exists to cross-validate the SRN pipeline and for fast design-space
+// sweeps.
+func ClosedFormCOA(nm NetworkModel) (float64, error) {
+	if err := nm.Validate(); err != nil {
+		return 0, err
+	}
+	if nm.recovery() != PerServer {
+		return 0, fmt.Errorf("availability: closed form requires PerServer semantics")
+	}
+	total := float64(nm.TotalServers())
+	groups := groupIndices(nm)
+
+	quorumOK := make([]float64, len(groups))  // P(up_g >= q_g)
+	upGivenOK := make([]float64, len(groups)) // E[up_g * 1{up_g >= q_g}]
+	for g, idxs := range groups {
+		pmf := []float64{1} // up-count distribution of the group so far
+		for _, i := range idxs {
+			t := nm.Tiers[i]
+			a := 1.0
+			if t.LambdaEq > 0 {
+				a = t.MuEq / (t.LambdaEq + t.MuEq)
+			}
+			tierPMF := make([]float64, t.N+1)
+			for k := 0; k <= t.N; k++ {
+				tierPMF[k] = mathx.Binomial(t.N, k) * pow(a, k) * pow(1-a, t.N-k)
+			}
+			next := make([]float64, len(pmf)+t.N)
+			for u, pu := range pmf {
+				if pu == 0 {
+					continue
+				}
+				for k, pk := range tierPMF {
+					next[u+k] += pu * pk
+				}
+			}
+			pmf = next
+		}
+		q := nm.quorumOf(nm.Tiers[idxs[0]].group())
+		for k := q; k < len(pmf); k++ {
+			quorumOK[g] += pmf[k]
+			upGivenOK[g] += float64(k) * pmf[k]
+		}
+	}
+	terms := make([]float64, len(groups))
+	for g := range groups {
+		term := upGivenOK[g]
+		for h := range groups {
+			if h != g {
+				term *= quorumOK[h]
+			}
+		}
+		terms[g] = term
+	}
+	return mathx.KahanSum(terms) / total, nil
+}
+
+func pow(x float64, n int) float64 {
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p *= x
+	}
+	return p
+}
+
+// BirnbaumImportance returns, per tier, the classical Birnbaum importance
+// of its servers' availability to the end-to-end service availability:
+// the partial derivative of P(every group meets a one-server quorum) with
+// respect to the tier's per-server availability. Redundancy slashes a
+// tier's importance by orders of magnitude — the quantitative face of the
+// paper's availability argument for redundancy. Requires PerServer
+// semantics and the default one-server quorums (the closed form used
+// here factorizes over groups).
+func BirnbaumImportance(nm NetworkModel) (map[string]float64, error) {
+	if err := nm.Validate(); err != nil {
+		return nil, err
+	}
+	if nm.recovery() != PerServer {
+		return nil, fmt.Errorf("availability: Birnbaum importance requires PerServer semantics")
+	}
+	if len(nm.Quorum) > 0 {
+		return nil, fmt.Errorf("availability: Birnbaum importance supports the default quorums only")
+	}
+	groups := groupIndices(nm)
+
+	avail := func(t Tier) float64 {
+		if t.LambdaEq == 0 {
+			return 1
+		}
+		return t.MuEq / (t.LambdaEq + t.MuEq)
+	}
+	// P(group has >= 1 up) per group, and, per tier, the derivative of
+	// its own group's term with respect to the tier availability:
+	// d/da [1 - (1-a)^N * rest] = N (1-a)^(N-1) * rest.
+	pUp := make([]float64, len(groups))
+	for g, idxs := range groups {
+		allDown := 1.0
+		for _, i := range idxs {
+			allDown *= pow(1-avail(nm.Tiers[i]), nm.Tiers[i].N)
+		}
+		pUp[g] = 1 - allDown
+	}
+	out := make(map[string]float64, len(nm.Tiers))
+	for g, idxs := range groups {
+		othersProduct := 1.0
+		for h := range groups {
+			if h != g {
+				othersProduct *= pUp[h]
+			}
+		}
+		for _, i := range idxs {
+			t := nm.Tiers[i]
+			a := avail(t)
+			rest := 1.0
+			for _, j := range idxs {
+				if j != i {
+					rest *= pow(1-avail(nm.Tiers[j]), nm.Tiers[j].N)
+				}
+			}
+			out[t.Name] = float64(t.N) * pow(1-a, t.N-1) * rest * othersProduct
+		}
+	}
+	return out, nil
+}
+
+// MeanTimeToServiceDown returns the expected time from the all-up state
+// until the service first drops below quorum in some logical group — the
+// mean time between patch-induced service outages. Computed by making
+// every below-quorum marking absorbing and solving the first-passage
+// system.
+func MeanTimeToServiceDown(nm NetworkModel) (float64, error) {
+	net, ups, err := BuildNetworkSRN(nm)
+	if err != nil {
+		return 0, err
+	}
+	ss, err := net.Generate(srn.GenerateOptions{})
+	if err != nil {
+		return 0, err
+	}
+	groups := groupIndices(nm)
+	quorums := make([]int, len(groups))
+	for g, idxs := range groups {
+		quorums[g] = nm.quorumOf(nm.Tiers[idxs[0]].group())
+	}
+	serviceDown := func(m srn.Marking) bool {
+		for g, idxs := range groups {
+			groupUp := 0
+			for _, i := range idxs {
+				groupUp += m.Tokens(ups[i])
+			}
+			if groupUp < quorums[g] {
+				return true
+			}
+		}
+		return false
+	}
+	var absorbing []int
+	for i, m := range ss.Markings() {
+		if serviceDown(m) {
+			absorbing = append(absorbing, i)
+		}
+	}
+	if len(absorbing) == 0 {
+		return 0, fmt.Errorf("availability: the service can never go down in this model")
+	}
+	start, ok := ss.StateOf(net.InitialMarking())
+	if !ok {
+		return 0, fmt.Errorf("availability: all-up marking not tangible")
+	}
+	tau, err := ss.Chain().MeanTimeToAbsorption(absorbing)
+	if err != nil {
+		return 0, err
+	}
+	return tau[start], nil
+}
+
+// RedundancyGain reports, for every tier of the model, the COA increase
+// obtained by adding one server to that tier — the quantitative version
+// of the paper's §IV-C observation that redundancy helps most on the tier
+// with the slowest patch recovery. Computed with the closed form, so the
+// model must use PerServer semantics.
+func RedundancyGain(nm NetworkModel) (map[string]float64, error) {
+	base, err := ClosedFormCOA(nm)
+	if err != nil {
+		return nil, err
+	}
+	gains := make(map[string]float64, len(nm.Tiers))
+	for i, t := range nm.Tiers {
+		variant := NetworkModel{Tiers: append([]Tier(nil), nm.Tiers...), Recovery: nm.Recovery}
+		variant.Tiers[i].N++
+		coa, err := ClosedFormCOA(variant)
+		if err != nil {
+			return nil, err
+		}
+		gains[t.Name] = coa - base
+	}
+	return gains, nil
+}
+
+// BestRedundancyPlacement returns the tier whose extra server yields the
+// highest COA gain, with the gain itself.
+func BestRedundancyPlacement(nm NetworkModel) (string, float64, error) {
+	gains, err := RedundancyGain(nm)
+	if err != nil {
+		return "", 0, err
+	}
+	best := ""
+	bestGain := math.Inf(-1)
+	for name, g := range gains {
+		if g > bestGain || (g == bestGain && name < best) {
+			best, bestGain = name, g
+		}
+	}
+	return best, bestGain, nil
+}
+
+// SolveServerTiers runs the full paper pipeline for a set of server types:
+// solve each lower-layer model once, aggregate, and instantiate tiers with
+// the requested replica counts. counts maps tier name to N; params must
+// contain one entry per counted tier. Tiers whose servers require no patch
+// (zero selected vulnerabilities) should simply be given LambdaEq 0 by the
+// caller instead.
+func SolveServerTiers(params []ServerParams, counts map[string]int) (NetworkModel, []ServerSolution, error) {
+	var nm NetworkModel
+	sols := make([]ServerSolution, 0, len(params))
+	for _, p := range params {
+		n, ok := counts[p.Name]
+		if !ok {
+			return NetworkModel{}, nil, fmt.Errorf("availability: no replica count for tier %s", p.Name)
+		}
+		sol, err := SolveServer(p)
+		if err != nil {
+			return NetworkModel{}, nil, err
+		}
+		agg, err := Aggregate(sol)
+		if err != nil {
+			return NetworkModel{}, nil, err
+		}
+		sols = append(sols, sol)
+		nm.Tiers = append(nm.Tiers, Tier{Name: p.Name, N: n, LambdaEq: agg.LambdaEq, MuEq: agg.MuEq})
+	}
+	return nm, sols, nil
+}

@@ -1,0 +1,403 @@
+package availability
+
+import (
+	"testing"
+	"time"
+
+	"redpatch/internal/ctmc"
+	"redpatch/internal/mathx"
+	"redpatch/internal/srn"
+)
+
+// paperServerParams returns the Table IV parameters of the four server
+// types; the patch windows derive from the per-type critical counts
+// (DESIGN.md §6).
+func paperServerParams(name string) ServerParams {
+	p := DefaultRates(name)
+	switch name {
+	case "dns":
+		p.SvcPatchTime = 5 * time.Minute
+		p.OSPatchTime = 20 * time.Minute
+	case "web":
+		p.SvcPatchTime = 10 * time.Minute
+		p.OSPatchTime = 10 * time.Minute
+	case "app":
+		p.SvcPatchTime = 15 * time.Minute
+		p.OSPatchTime = 30 * time.Minute
+	case "db":
+		p.SvcPatchTime = 10 * time.Minute
+		p.OSPatchTime = 30 * time.Minute
+	}
+	return p
+}
+
+func TestValidateParams(t *testing.T) {
+	p := paperServerParams("dns")
+	if err := p.Validate(); err != nil {
+		t.Errorf("paper params should validate: %v", err)
+	}
+	bad := p
+	bad.HWMTBF = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero HWMTBF should fail")
+	}
+	bad = p
+	bad.SvcPatchTime = -time.Minute
+	if err := bad.Validate(); err == nil {
+		t.Error("negative patch time should fail")
+	}
+}
+
+func TestBuildServerSRNStructure(t *testing.T) {
+	net, pl, err := BuildServerSRN(paperServerParams("dns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("net invalid: %v", err)
+	}
+	if got := len(net.Places()); got != 16 {
+		t.Errorf("places = %d, want 16", got)
+	}
+	// 24 transitions: 2 hardware, 9 OS, 10 service, 3 clock.
+	if got := len(net.Transitions()); got != 24 {
+		t.Errorf("transitions = %d, want 24", got)
+	}
+	// The 20 guard functions of Table III map onto these transitions.
+	guarded := 0
+	for _, name := range []string{
+		"Tosd", "Tosdrb", "Tosfup", "Tosptrig", "Tosp", "Tosrpd", "Tospd", "Tosprb",
+		"Tsvcd", "Tsvcdrb", "Tsvcfup", "Tsvcptrig", "Tsvcp", "Tsvcrpd", "Tsvcrrb", "Tsvcrrbd", "Tsvcprb",
+		"Tinterval", "Tpolicy", "Treset",
+	} {
+		if net.TransitionByName(name) == nil {
+			t.Errorf("missing transition %s", name)
+			continue
+		}
+		guarded++
+	}
+	if guarded != 20 {
+		t.Errorf("guarded transitions = %d, want 20", guarded)
+	}
+	if pl.HWUp.Initial() != 1 || pl.OSUp.Initial() != 1 || pl.SvcUp.Initial() != 1 || pl.Clock.Initial() != 1 {
+		t.Error("initial marking should have one token in each up place and the clock")
+	}
+}
+
+// TestDNSSolutionMatchesPaper pins the lower-layer solution against the
+// probabilities the paper publishes for the DNS server in §III-D2:
+// p_prrb ≈ 0.00011563 and p_pd ≈ 0.00092506, giving mu_eq ≈ 1.49992.
+func TestDNSSolutionMatchesPaper(t *testing.T) {
+	sol, err := SolveServer(paperServerParams("dns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(sol.ReadyToReboot, 0.00011563, 1e-4) {
+		t.Errorf("p_prrb = %.8f, want ≈ 0.00011563", sol.ReadyToReboot)
+	}
+	if !mathx.AlmostEqual(sol.PatchDown, 0.00092506, 1e-4) {
+		t.Errorf("p_pd = %.8f, want ≈ 0.00092506", sol.PatchDown)
+	}
+	agg, err := Aggregate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(agg.LambdaEq, 1.0/720, 1e-12) {
+		t.Errorf("lambda_eq = %v, want 1/720", agg.LambdaEq)
+	}
+	if !mathx.AlmostEqual(agg.MuEq, 1.49992, 1e-4) {
+		t.Errorf("mu_eq = %.5f, want ≈ 1.49992", agg.MuEq)
+	}
+}
+
+// TestTable5AggregatedRates pins the aggregation for all four server
+// types against the paper's Table V.
+func TestTable5AggregatedRates(t *testing.T) {
+	tests := []struct {
+		name     string
+		wantMTTP float64 // hours
+		wantMu   float64
+		wantMTTR float64 // hours
+	}{
+		{name: "dns", wantMTTP: 720, wantMu: 1.49992, wantMTTR: 0.6667},
+		{name: "web", wantMTTP: 720, wantMu: 1.71420, wantMTTR: 0.5834},
+		{name: "app", wantMTTP: 720, wantMu: 0.99995, wantMTTR: 1.0001},
+		{name: "db", wantMTTP: 720, wantMu: 1.09085, wantMTTR: 0.9167},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sol, err := SolveServer(paperServerParams(tt.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg, err := Aggregate(sol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mathx.AlmostEqual(agg.MTTP(), tt.wantMTTP, 1e-9) {
+				t.Errorf("MTTP = %v, want %v", agg.MTTP(), tt.wantMTTP)
+			}
+			if !mathx.AlmostEqual(agg.MuEq, tt.wantMu, 1e-4) {
+				t.Errorf("mu_eq = %.5f, want ≈ %.5f", agg.MuEq, tt.wantMu)
+			}
+			if !mathx.AlmostEqual(agg.MTTR(), tt.wantMTTR, 1e-4) {
+				t.Errorf("MTTR = %.4f, want ≈ %.4f", agg.MTTR(), tt.wantMTTR)
+			}
+		})
+	}
+}
+
+// TestMTTRDecomposition: the aggregated MTTR approximates the sum of the
+// patch pipeline stages (service patch + OS patch + OS reboot + service
+// restart), since failures during the short window are rare.
+func TestMTTRDecomposition(t *testing.T) {
+	p := paperServerParams("web")
+	sol, err := SolveServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline := (p.SvcPatchTime + p.OSPatchTime + p.OSReboot + p.SvcReboot).Hours()
+	if !mathx.AlmostEqual(agg.MTTR(), pipeline, 2e-3) {
+		t.Errorf("MTTR = %v, want ≈ pipeline duration %v", agg.MTTR(), pipeline)
+	}
+}
+
+func TestServerStateSpaceIsSmallAndStable(t *testing.T) {
+	sol, err := SolveServer(paperServerParams("db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Tangible != 27 {
+		t.Errorf("tangible states = %d, want 27", sol.Tangible)
+	}
+	if sol.Vanishing == 0 {
+		t.Error("expected vanishing markings to be eliminated")
+	}
+}
+
+func TestServiceUpDominates(t *testing.T) {
+	sol, err := SolveServer(paperServerParams("app"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.ServiceUp < 0.99 {
+		t.Errorf("service availability = %v, implausibly low", sol.ServiceUp)
+	}
+	total := sol.ServiceUp + sol.PatchDown + sol.FailureDown
+	if !mathx.AlmostEqual(total, 1, 1e-9) {
+		t.Errorf("up + patch-down + failure-down = %v, want 1", total)
+	}
+}
+
+// TestPatchPipelineOrdering verifies the paper's patch sequence on the
+// reachability graph: from the tangible marking where the service is
+// ready to patch, the pipeline passes through service-patched, OS-ready,
+// OS-patched and ready-to-reboot markings before returning to up.
+func TestPatchPipelineOrdering(t *testing.T) {
+	net, pl, err := BuildServerSRN(paperServerParams("dns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := net.Generate(srn.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSvcReady, sawSvcDoneOSReady, sawOSReboot, sawSvcReboot bool
+	for _, m := range ss.Markings() {
+		if m.Tokens(pl.SvcReady) == 1 && m.Tokens(pl.OSUp) == 1 {
+			sawSvcReady = true
+		}
+		if m.Tokens(pl.SvcDone) == 1 && m.Tokens(pl.OSReady) == 1 {
+			sawSvcDoneOSReady = true
+		}
+		if m.Tokens(pl.SvcReboot) == 1 && m.Tokens(pl.OSDone) == 1 {
+			sawOSReboot = true
+		}
+		if m.Tokens(pl.SvcReboot) == 1 && m.Tokens(pl.OSUp) == 1 {
+			sawSvcReboot = true
+		}
+		if m.Tokens(pl.SvcDone) == 1 && m.Tokens(pl.OSUp) == 1 {
+			t.Errorf("tangible marking with service patched but OS still up: the OS patch trigger should fire immediately (%s)", net.MarkingString(m))
+		}
+	}
+	if !sawSvcReady || !sawSvcDoneOSReady || !sawOSReboot || !sawSvcReboot {
+		t.Errorf("patch pipeline stages missing: svcReady=%v svcDoneOSReady=%v osReboot=%v svcReboot=%v",
+			sawSvcReady, sawSvcDoneOSReady, sawOSReboot, sawSvcReboot)
+	}
+}
+
+// TestServerModelConservation: the server SRN conserves exactly four
+// tokens — one each for the hardware, OS, service and patch-clock
+// sub-models — and every reachable marking honours the conservation laws.
+func TestServerModelConservation(t *testing.T) {
+	net, _, err := BuildServerSRN(paperServerParams("dns"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := net.PlaceInvariants()
+	if len(inv) != 4 {
+		t.Fatalf("place invariants = %d, want 4 (hw, os, svc, clock)", len(inv))
+	}
+	ss, err := net.Generate(srn.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.CheckConservation(ss); err != nil {
+		t.Errorf("conservation violated: %v", err)
+	}
+}
+
+// TestNoDeadlock: every tangible marking must have at least one enabled
+// timed transition (the model is ergodic; a deadlock would trap the
+// token).
+func TestNoDeadlock(t *testing.T) {
+	net, _, err := BuildServerSRN(paperServerParams("web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := net.Generate(srn.GenerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := ss.Chain()
+	for i := 0; i < chain.NumStates(); i++ {
+		if chain.ExitRate(i) == 0 {
+			t.Errorf("tangible state %d (%s) is absorbing", i, net.MarkingString(ss.Markings()[i]))
+		}
+	}
+	// Ergodicity: the steady state must exist and put mass on the up
+	// state.
+	pi, err := ss.SteadyState(ctmc.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pi {
+		if p < 0 || p > 1 {
+			t.Errorf("pi[%d] = %v outside [0,1]", i, p)
+		}
+	}
+}
+
+func TestZeroPatchWindowClamped(t *testing.T) {
+	p := paperServerParams("dns")
+	p.SvcPatchTime = 0 // nothing to patch in the service layer
+	sol, err := SolveServer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Aggregate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline reduces to ~OS patch + reboots; MTTR ≈ 35 min = 0.5836 h.
+	want := (20*time.Minute + 10*time.Minute + 5*time.Minute + time.Second).Hours()
+	if !mathx.AlmostEqual(agg.MTTR(), want, 2e-3) {
+		t.Errorf("MTTR = %v, want ≈ %v", agg.MTTR(), want)
+	}
+}
+
+// TestFasterPatchingImprovesAvailability is a sanity ablation: halving
+// the patch windows must raise the aggregated availability.
+func TestFasterPatchingImprovesAvailability(t *testing.T) {
+	slow := paperServerParams("app")
+	fast := slow
+	fast.SvcPatchTime /= 2
+	fast.OSPatchTime /= 2
+	solSlow, err := SolveServer(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solFast, err := SolveServer(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSlow, err := Aggregate(solSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggFast, err := Aggregate(solFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggFast.Availability() <= aggSlow.Availability() {
+		t.Errorf("faster patching should raise availability: %v vs %v",
+			aggFast.Availability(), aggSlow.Availability())
+	}
+}
+
+// TestAggregateTotal: the frequency-matched two-state abstraction
+// reproduces the full model's service availability exactly, and its
+// downtime exceeds the patch-only abstraction's (failures included).
+func TestAggregateTotal(t *testing.T) {
+	p := paperServerParams("dns")
+	total, sol, err := AggregateTotal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(total.Availability(), sol.ServiceUp, 1e-9) {
+		t.Errorf("two-state availability %v != full-model %v", total.Availability(), sol.ServiceUp)
+	}
+	patchOnly, err := Aggregate(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Availability() >= patchOnly.Availability() {
+		t.Errorf("including failures must lower availability: %v vs %v",
+			total.Availability(), patchOnly.Availability())
+	}
+	// Outages happen more often than monthly once failures count: the
+	// service fails every ~336 h on top of the 720 h patch cycle.
+	if total.MTTP() >= 720 {
+		t.Errorf("total MTTP = %v h, want below the 720 h patch interval", total.MTTP())
+	}
+	// Combined outage rate ≈ 1/336 (svc) + 1/1440 (os) + 1/720 (patch)
+	// ≈ 1/198 h.
+	if total.MTTP() < 150 {
+		t.Errorf("total MTTP = %v h, implausibly frequent", total.MTTP())
+	}
+}
+
+// TestCOAWithFailures quantifies what the paper's patch-only upper layer
+// leaves out: COA over the total abstraction is visibly lower.
+func TestCOAWithFailures(t *testing.T) {
+	var patchTiers, totalTiers []Tier
+	counts := map[string]int{"dns": 1, "web": 2, "app": 2, "db": 1}
+	for _, role := range []string{"dns", "web", "app", "db"} {
+		p := paperServerParams(role)
+		total, sol, err := AggregateTotal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patchAgg, err := Aggregate(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patchTiers = append(patchTiers, Tier{Name: role, N: counts[role], LambdaEq: patchAgg.LambdaEq, MuEq: patchAgg.MuEq})
+		totalTiers = append(totalTiers, Tier{Name: role, N: counts[role], LambdaEq: total.LambdaEq, MuEq: total.MuEq})
+	}
+	patchCOA, err := ClosedFormCOA(NetworkModel{Tiers: patchTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalCOA, err := ClosedFormCOA(NetworkModel{Tiers: totalTiers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalCOA >= patchCOA {
+		t.Errorf("COA with failures %v should be below patch-only %v", totalCOA, patchCOA)
+	}
+	if totalCOA < 0.98 {
+		t.Errorf("COA with failures = %v, implausibly low", totalCOA)
+	}
+	t.Logf("COA patch-only %.6f vs with failures %.6f", patchCOA, totalCOA)
+}
+
+func TestAggregateRejectsUnsolvedPipeline(t *testing.T) {
+	if _, err := Aggregate(ServerSolution{Params: paperServerParams("dns")}); err == nil {
+		t.Error("Aggregate with zero patch-down probability should fail")
+	}
+}

@@ -1,0 +1,230 @@
+// Package core implements the paper's proposed framework (Fig. 1) as a
+// reusable three-phase pipeline over arbitrary enterprise networks:
+//
+//	phase 1 — data input: network topology, vulnerability data with
+//	          per-role attack trees, failure/recovery behaviours, and a
+//	          patch schedule/policy;
+//	phase 2 — model construction: a two-layered HARM for security (before
+//	          and after the patch transformation) and hierarchical SRN
+//	          availability models (per-server lower layer, aggregated
+//	          network upper layer);
+//	phase 3 — evaluation: the five security metrics, the Table V
+//	          aggregated rates, and capacity oriented availability.
+//
+// The paperdata package supplies ready-made inputs for the paper's case
+// study; this package is deliberately independent of it so that other
+// networks can be analyzed with the same pipeline.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"redpatch/internal/attacktree"
+	"redpatch/internal/availability"
+	"redpatch/internal/harm"
+	"redpatch/internal/patch"
+	"redpatch/internal/topology"
+	"redpatch/internal/vulndb"
+)
+
+// Inputs is phase 1 of the framework.
+type Inputs struct {
+	// Topology is the network with one attacker and role-annotated hosts.
+	Topology *topology.Topology
+	// DB holds the vulnerability records referenced by the attack trees.
+	DB *vulndb.DB
+	// Trees maps host roles to attack-tree templates; leaf Refs must be
+	// IDs present in DB for the patch transformation to resolve them.
+	Trees map[string]*attacktree.Tree
+	// RoleVulns maps each role to the vulnerabilities its software stack
+	// carries (exploitable or not); patch plans derive from it.
+	RoleVulns map[string][]vulndb.Vulnerability
+	// TargetRoles are the attacker's goals (e.g. the database tier).
+	TargetRoles []string
+	// Rates maps each role to its failure/recovery behaviour; patch
+	// windows inside are overwritten from the computed plans.
+	Rates map[string]availability.ServerParams
+	// Policy and Schedule drive the patch round.
+	Policy   patch.Policy
+	Schedule patch.Schedule
+	// Eval configures security-metric evaluation (zero value = package
+	// defaults of internal/harm).
+	Eval harm.EvalOptions
+}
+
+// Validate checks phase-1 completeness.
+func (in Inputs) Validate() error {
+	if in.Topology == nil {
+		return errors.New("core: missing topology")
+	}
+	if in.DB == nil {
+		return errors.New("core: missing vulnerability database")
+	}
+	if len(in.Trees) == 0 {
+		return errors.New("core: missing attack trees")
+	}
+	if len(in.TargetRoles) == 0 {
+		return errors.New("core: missing target roles")
+	}
+	if err := in.Schedule.Validate(); err != nil {
+		return err
+	}
+	for _, host := range in.Topology.Hosts() {
+		if _, ok := in.Rates[host.Role]; !ok {
+			return fmt.Errorf("core: no server rates for role %q", host.Role)
+		}
+	}
+	return nil
+}
+
+// RoleReport carries the per-role availability results (the rows of the
+// paper's Table V).
+type RoleReport struct {
+	Role string
+	// Plan is the computed patch work.
+	Plan patch.Plan
+	// Solution is the solved lower-layer model; zero-valued when the role
+	// requires no patch.
+	Solution availability.ServerSolution
+	// Rates are the aggregated lambda_eq/mu_eq; zero-valued when the role
+	// requires no patch.
+	Rates availability.AggregatedRates
+	// Replicas is the number of servers of this role in the topology.
+	Replicas int
+}
+
+// Report is phase 3's output.
+type Report struct {
+	// SecurityBefore and SecurityAfter are the HARM metrics on either
+	// side of the patch round.
+	SecurityBefore, SecurityAfter harm.Metrics
+	// Roles lists per-role availability results sorted by role name.
+	Roles []RoleReport
+	// COA is the capacity oriented availability of the network under the
+	// patch schedule.
+	COA float64
+	// ServiceAvailability is P(every tier has at least one server up).
+	ServiceAvailability float64
+}
+
+// Pipeline is the constructed framework, ready for evaluation.
+type Pipeline struct {
+	in Inputs
+}
+
+// NewPipeline validates the inputs and returns a pipeline.
+func NewPipeline(in Inputs) (*Pipeline, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{in: in}, nil
+}
+
+// BuildSecurityModels constructs phase 2's HARMs: the before-patch model
+// and the after-patch model under the pipeline's policy.
+func (p *Pipeline) BuildSecurityModels() (before, after *harm.HARM, err error) {
+	before, err = harm.Build(harm.BuildInput{
+		Topology:    p.in.Topology,
+		Trees:       p.in.Trees,
+		TargetRoles: p.in.TargetRoles,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	after, err = before.Patched(func(role string, l *attacktree.Leaf) bool {
+		v, ok := p.in.DB.ByID(l.Ref)
+		if !ok {
+			return true
+		}
+		return !p.in.Policy.Selects(v)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return before, after, nil
+}
+
+// replicaCounts tallies hosts per role from the topology.
+func (p *Pipeline) replicaCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, h := range p.in.Topology.Hosts() {
+		counts[h.Role]++
+	}
+	return counts
+}
+
+// BuildAvailabilityModel solves the lower-layer model of every role
+// present in the topology and assembles the upper-layer network model.
+func (p *Pipeline) BuildAvailabilityModel() (availability.NetworkModel, []RoleReport, error) {
+	counts := p.replicaCounts()
+	roles := make([]string, 0, len(counts))
+	for role := range counts {
+		roles = append(roles, role)
+	}
+	sort.Strings(roles)
+
+	var nm availability.NetworkModel
+	var reports []RoleReport
+	for _, role := range roles {
+		plan, err := patch.Compute(role, p.in.RoleVulns[role], p.in.Policy, p.in.Schedule)
+		if err != nil {
+			return availability.NetworkModel{}, nil, err
+		}
+		rr := RoleReport{Role: role, Plan: plan, Replicas: counts[role]}
+		tier := availability.Tier{Name: role, N: counts[role]}
+		if plan.RequiresPatch() {
+			params := p.in.Rates[role]
+			params.Name = role
+			params.SvcPatchTime = plan.ServicePatchTime
+			params.OSPatchTime = plan.OSPatchTime
+			params.OSReboot = p.in.Schedule.OSReboot
+			params.SvcReboot = p.in.Schedule.ServiceReboot
+			params.PatchInterval = p.in.Schedule.Interval
+			sol, err := availability.SolveServer(params)
+			if err != nil {
+				return availability.NetworkModel{}, nil, err
+			}
+			agg, err := availability.Aggregate(sol)
+			if err != nil {
+				return availability.NetworkModel{}, nil, err
+			}
+			rr.Solution = sol
+			rr.Rates = agg
+			tier.LambdaEq = agg.LambdaEq
+			tier.MuEq = agg.MuEq
+		}
+		reports = append(reports, rr)
+		nm.Tiers = append(nm.Tiers, tier)
+	}
+	return nm, reports, nil
+}
+
+// Evaluate runs the full pipeline: both security models, the availability
+// model, and the combined report.
+func (p *Pipeline) Evaluate() (Report, error) {
+	before, after, err := p.BuildSecurityModels()
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if rep.SecurityBefore, err = before.Evaluate(p.in.Eval); err != nil {
+		return Report{}, err
+	}
+	if rep.SecurityAfter, err = after.Evaluate(p.in.Eval); err != nil {
+		return Report{}, err
+	}
+	nm, roles, err := p.BuildAvailabilityModel()
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Roles = roles
+	sol, err := availability.SolveNetwork(nm)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.COA = sol.COA
+	rep.ServiceAvailability = sol.ServiceAvailability
+	return rep, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"redpatch/internal/attacktree"
+	"redpatch/internal/availability"
+	"redpatch/internal/harm"
+	"redpatch/internal/mathx"
+	"redpatch/internal/paperdata"
+	"redpatch/internal/patch"
+	"redpatch/internal/vulndb"
+)
+
+// paperInputs assembles the case-study inputs through the generic
+// pipeline API.
+func paperInputs(t *testing.T) Inputs {
+	t.Helper()
+	db := paperdata.VulnDB()
+	top, err := paperdata.Topology(paperdata.BaseDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roleVulns := make(map[string][]vulndb.Vulnerability)
+	rates := make(map[string]availability.ServerParams)
+	for _, role := range paperdata.Roles() {
+		vulns, err := paperdata.VulnsForRole(db, role)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roleVulns[role] = vulns
+		rates[role] = availability.DefaultRates(role)
+	}
+	return Inputs{
+		Topology:    top,
+		DB:          db,
+		Trees:       paperdata.Trees(db),
+		RoleVulns:   roleVulns,
+		TargetRoles: []string{paperdata.RoleDB},
+		Rates:       rates,
+		Policy:      patch.CriticalPolicy(),
+		Schedule:    patch.MonthlySchedule(),
+		Eval:        harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy},
+	}
+}
+
+// TestFullPipelineReproducesPaper runs the entire Fig. 1 framework on the
+// case study and checks the headline numbers of Tables II, V and VI.
+func TestFullPipelineReproducesPaper(t *testing.T) {
+	p, err := NewPipeline(paperInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Table II (security): see DESIGN.md §7 for the NoEV=26 and ASP
+	// discrepancies.
+	if !mathx.AlmostEqual(rep.SecurityBefore.AIM, 52.2, 1e-9) {
+		t.Errorf("AIM before = %v, want 52.2", rep.SecurityBefore.AIM)
+	}
+	if !mathx.AlmostEqual(rep.SecurityBefore.ASP, 1.0, 1e-9) {
+		t.Errorf("ASP before = %v, want 1.0", rep.SecurityBefore.ASP)
+	}
+	if rep.SecurityBefore.NoEV != 26 || rep.SecurityBefore.NoAP != 8 || rep.SecurityBefore.NoEP != 3 {
+		t.Errorf("before = %+v, want NoEV 26, NoAP 8, NoEP 3", rep.SecurityBefore)
+	}
+	if !mathx.AlmostEqual(rep.SecurityAfter.AIM, 42.2, 1e-9) {
+		t.Errorf("AIM after = %v, want 42.2", rep.SecurityAfter.AIM)
+	}
+	if rep.SecurityAfter.NoEV != 11 || rep.SecurityAfter.NoAP != 4 || rep.SecurityAfter.NoEP != 2 {
+		t.Errorf("after = %+v, want NoEV 11, NoAP 4, NoEP 2", rep.SecurityAfter)
+	}
+	if rep.SecurityAfter.ASP < 0.2 || rep.SecurityAfter.ASP > 0.3 {
+		t.Errorf("ASP after = %v, want in the paper's neighbourhood of 0.265", rep.SecurityAfter.ASP)
+	}
+
+	// Table V (aggregated rates).
+	wantMu := map[string]float64{"dns": 1.49992, "web": 1.71420, "app": 0.99995, "db": 1.09085}
+	if len(rep.Roles) != 4 {
+		t.Fatalf("roles = %d, want 4", len(rep.Roles))
+	}
+	for _, rr := range rep.Roles {
+		if !mathx.AlmostEqual(rr.Rates.MuEq, wantMu[rr.Role], 1e-4) {
+			t.Errorf("%s mu_eq = %v, want ≈ %v", rr.Role, rr.Rates.MuEq, wantMu[rr.Role])
+		}
+		if !mathx.AlmostEqual(rr.Rates.MTTP(), 720, 1e-9) {
+			t.Errorf("%s MTTP = %v, want 720", rr.Role, rr.Rates.MTTP())
+		}
+	}
+
+	// Table VI (COA).
+	if !mathx.AlmostEqual(rep.COA, 0.99707, 1e-4) {
+		t.Errorf("COA = %v, want ≈ 0.99707", rep.COA)
+	}
+}
+
+func TestBuildSecurityModels(t *testing.T) {
+	p, err := NewPipeline(paperInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after, err := p.BuildSecurityModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.Upper().HasNode("dns1") {
+		t.Error("before-patch HARM should include dns1")
+	}
+	if after.Upper().HasNode("dns1") {
+		t.Error("after-patch HARM should exclude dns1")
+	}
+}
+
+func TestReplicaCountsFromTopology(t *testing.T) {
+	in := paperInputs(t)
+	p, err := NewPipeline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, roles, err := p.BuildAvailabilityModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm.TotalServers() != 6 {
+		t.Errorf("total servers = %d, want 6", nm.TotalServers())
+	}
+	counts := map[string]int{"dns": 1, "web": 2, "app": 2, "db": 1}
+	for _, rr := range roles {
+		if rr.Replicas != counts[rr.Role] {
+			t.Errorf("%s replicas = %d, want %d", rr.Role, rr.Replicas, counts[rr.Role])
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := paperInputs(t)
+	tests := []struct {
+		name string
+		mut  func(*Inputs)
+	}{
+		{name: "noTopology", mut: func(in *Inputs) { in.Topology = nil }},
+		{name: "noDB", mut: func(in *Inputs) { in.DB = nil }},
+		{name: "noTrees", mut: func(in *Inputs) { in.Trees = nil }},
+		{name: "noTargets", mut: func(in *Inputs) { in.TargetRoles = nil }},
+		{name: "badSchedule", mut: func(in *Inputs) { in.Schedule = patch.Schedule{} }},
+		{name: "missingRates", mut: func(in *Inputs) { delete(in.Rates, "web") }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := paperInputs(t)
+			tt.mut(&in)
+			if _, err := NewPipeline(in); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	if _, err := NewPipeline(base); err != nil {
+		t.Errorf("valid inputs rejected: %v", err)
+	}
+}
+
+// TestRoleWithoutPatchableVulns: a role whose stack has no critical
+// vulnerabilities never patches, so its tier never goes down.
+func TestRoleWithoutPatchableVulns(t *testing.T) {
+	in := paperInputs(t)
+	// Strip the DNS stack of patch-selected vulnerabilities.
+	in.RoleVulns["dns"] = nil
+	p, err := NewPipeline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, roles, err := p.BuildAvailabilityModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range roles {
+		if rr.Role == "dns" {
+			if rr.Plan.RequiresPatch() {
+				t.Error("dns plan should be empty")
+			}
+			if rr.Rates.LambdaEq != 0 {
+				t.Error("dns tier should never patch")
+			}
+		}
+	}
+	sol, err := availability.SolveNetwork(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COA must improve over the fully patched network.
+	full, err := NewPipeline(paperInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRep, err := full.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.COA <= fullRep.COA {
+		t.Errorf("skipping dns patches should raise COA: %v vs %v", sol.COA, fullRep.COA)
+	}
+}

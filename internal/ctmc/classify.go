@@ -1,0 +1,126 @@
+package ctmc
+
+import "fmt"
+
+// Classification describes the communicating structure of a chain.
+type Classification struct {
+	// Components lists the strongly connected components in reverse
+	// topological order (Tarjan's order); each component holds state
+	// indices.
+	Components [][]int
+	// Irreducible is true when the chain has a single component.
+	Irreducible bool
+	// Absorbing lists states with no outgoing rate.
+	Absorbing []int
+}
+
+// Classify computes the strongly connected components of the transition
+// graph (Tarjan's algorithm, iterative to keep large chains off the call
+// stack). Steady-state solvers require an irreducible chain; Classify
+// turns the cryptic singular-matrix failure into an actionable
+// diagnosis.
+func (c *Chain) Classify() Classification {
+	c.freeze()
+	n := c.n
+
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		cls     Classification
+		counter int
+	)
+
+	type frame struct {
+		v    int
+		succ []int
+		next int
+	}
+	succOf := func(v int) []int {
+		var out []int
+		c.gen.Row(v, func(j int, rate float64) {
+			if rate > 0 {
+				out = append(out, j)
+			}
+		})
+		return out
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root, succ: succOf(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(f.succ) {
+				w := f.succ[f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succ: succOf(w)})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Post-order: close the component if v is a root.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				cls.Components = append(cls.Components, comp)
+			}
+		}
+	}
+
+	cls.Irreducible = len(cls.Components) == 1
+	for i := 0; i < n; i++ {
+		if c.ExitRate(i) == 0 {
+			cls.Absorbing = append(cls.Absorbing, i)
+		}
+	}
+	return cls
+}
+
+// RequireIrreducible returns a descriptive error when the chain is not
+// irreducible; steady-state callers use it to fail with a diagnosis
+// instead of a singular linear system.
+func (c *Chain) RequireIrreducible() error {
+	cls := c.Classify()
+	if cls.Irreducible {
+		return nil
+	}
+	return fmt.Errorf("ctmc: chain is reducible: %d communicating classes, %d absorbing states",
+		len(cls.Components), len(cls.Absorbing))
+}

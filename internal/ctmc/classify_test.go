@@ -1,0 +1,124 @@
+package ctmc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyIrreducible(t *testing.T) {
+	c := twoState(t, 1, 2)
+	cls := c.Classify()
+	if !cls.Irreducible {
+		t.Error("two-state cycle should be irreducible")
+	}
+	if len(cls.Components) != 1 || len(cls.Components[0]) != 2 {
+		t.Errorf("components = %v", cls.Components)
+	}
+	if len(cls.Absorbing) != 0 {
+		t.Errorf("absorbing = %v, want none", cls.Absorbing)
+	}
+	if err := c.RequireIrreducible(); err != nil {
+		t.Errorf("RequireIrreducible: %v", err)
+	}
+}
+
+func TestClassifyAbsorbingChain(t *testing.T) {
+	// 2 -> 1 -> 0 with no way back: three singleton components, one
+	// absorbing state.
+	c := New(3)
+	if err := c.AddRate(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cls := c.Classify()
+	if cls.Irreducible {
+		t.Error("pure death chain is reducible")
+	}
+	if len(cls.Components) != 3 {
+		t.Errorf("components = %v, want 3 singletons", cls.Components)
+	}
+	if len(cls.Absorbing) != 1 || cls.Absorbing[0] != 0 {
+		t.Errorf("absorbing = %v, want [0]", cls.Absorbing)
+	}
+	if err := c.RequireIrreducible(); err == nil {
+		t.Error("RequireIrreducible should fail")
+	}
+}
+
+func TestClassifyTwoIslands(t *testing.T) {
+	c := New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}} {
+		if err := c.AddRate(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cls := c.Classify()
+	if len(cls.Components) != 2 {
+		t.Errorf("components = %v, want 2", cls.Components)
+	}
+	total := 0
+	for _, comp := range cls.Components {
+		total += len(comp)
+	}
+	if total != 4 {
+		t.Errorf("components cover %d states, want 4", total)
+	}
+}
+
+// TestClassifyAgreesWithDirectSolver: an irreducible chain always has a
+// Direct steady-state solution (the converse does not hold — a reducible
+// unichain still has a unique stationary distribution).
+func TestClassifyAgreesWithDirectSolver(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		c := New(n)
+		for k := 0; k < n+rng.Intn(2*n); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				if err := c.AddRate(i, j, 0.5+rng.Float64()); err != nil {
+					return false
+				}
+			}
+		}
+		irreducible := c.Classify().Irreducible
+		_, err := c.SteadyState(SolveOptions{Method: Direct})
+		return !irreducible || err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComponentsPartitionStates: components always partition [0, n).
+func TestComponentsPartitionStates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		c := New(n)
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				if err := c.AddRate(i, j, 1); err != nil {
+					return false
+				}
+			}
+		}
+		seen := make(map[int]bool)
+		for _, comp := range c.Classify().Components {
+			for _, s := range comp {
+				if seen[s] {
+					return false
+				}
+				seen[s] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,589 @@
+// Package ctmc implements continuous-time Markov chain analysis: steady-
+// state solution by several methods, transient solution by uniformization,
+// expected reward computation, and mean time to absorption. It plays the
+// role SHARPE/SPNP's numerical core plays in the paper: the stochastic
+// reward nets of internal/srn are compiled into chains solved here.
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"redpatch/internal/mathx"
+	"redpatch/internal/sparse"
+)
+
+// Chain is a finite-state CTMC under construction or analysis. States are
+// dense integer indices [0, n). Rates are accumulated with AddRate and
+// frozen into a generator on first solve.
+type Chain struct {
+	n       int
+	builder *sparse.Builder
+	gen     *sparse.CSR // off-diagonal rates, rows = source states
+	diag    []float64   // diagonal of the generator (negative exit rates)
+}
+
+// New returns a chain with n states and no transitions.
+func New(n int) *Chain {
+	if n <= 0 {
+		panic("ctmc: chain must have at least one state")
+	}
+	return &Chain{n: n, builder: sparse.NewBuilder(n, n)}
+}
+
+// NumStates returns the number of states in the chain.
+func (c *Chain) NumStates() int { return c.n }
+
+// AddRate adds a transition from state i to state j with the given positive
+// rate. Multiple calls for the same pair accumulate. Self loops are
+// rejected: they have no effect on a CTMC's dynamics and always indicate a
+// modelling error upstream.
+func (c *Chain) AddRate(i, j int, rate float64) error {
+	if c.builder == nil {
+		return errors.New("ctmc: chain already frozen by a solve")
+	}
+	if i < 0 || i >= c.n || j < 0 || j >= c.n {
+		return fmt.Errorf("ctmc: transition %d->%d outside state space of size %d", i, j, c.n)
+	}
+	if i == j {
+		return fmt.Errorf("ctmc: self-loop on state %d", i)
+	}
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return fmt.Errorf("ctmc: invalid rate %v for transition %d->%d", rate, i, j)
+	}
+	c.builder.Add(i, j, rate)
+	return nil
+}
+
+// freeze assembles the off-diagonal rate matrix and the diagonal.
+func (c *Chain) freeze() {
+	if c.gen != nil {
+		return
+	}
+	c.gen = c.builder.Build()
+	c.builder = nil
+	c.diag = make([]float64, c.n)
+	sums := c.gen.RowSums()
+	for i := range c.diag {
+		c.diag[i] = -sums[i]
+	}
+}
+
+// Generator returns the full generator matrix Q (including the diagonal) as
+// a CSR matrix. Each row of Q sums to zero.
+func (c *Chain) Generator() *sparse.CSR {
+	c.freeze()
+	b := sparse.NewBuilder(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		c.gen.Row(i, func(j int, v float64) { b.Add(i, j, v) })
+		b.Add(i, i, c.diag[i])
+	}
+	return b.Build()
+}
+
+// ExitRate returns the total exit rate of state i.
+func (c *Chain) ExitRate(i int) float64 {
+	c.freeze()
+	return -c.diag[i]
+}
+
+// Method selects the steady-state solution algorithm.
+type Method int
+
+const (
+	// Auto picks Direct for small chains and GaussSeidel otherwise.
+	Auto Method = iota + 1
+	// Direct uses dense Gaussian elimination with partial pivoting on the
+	// normalized balance equations. Exact up to floating point; O(n^3).
+	Direct
+	// GaussSeidel iterates the balance equations in place. Fast on sparse
+	// chains; requires an irreducible chain to converge to the unique
+	// stationary distribution.
+	GaussSeidel
+	// Power iterates the uniformized DTMC. Slowest but most robust.
+	Power
+)
+
+// SolveOptions configures the steady-state solvers. The zero value selects
+// Auto with defaults.
+type SolveOptions struct {
+	Method    Method
+	Tolerance float64 // convergence tolerance; default 1e-12
+	MaxIter   int     // iteration cap for iterative methods; default 200000
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Method == 0 {
+		o.Method = Auto
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200000
+	}
+	return o
+}
+
+// ErrNotConverged reports that an iterative solver hit its iteration cap
+// before reaching the requested tolerance.
+var ErrNotConverged = errors.New("ctmc: iterative solver did not converge")
+
+// SteadyState returns the stationary distribution pi with pi*Q = 0 and
+// sum(pi) = 1, using the configured method.
+func (c *Chain) SteadyState(opts SolveOptions) ([]float64, error) {
+	c.freeze()
+	opts = opts.withDefaults()
+	method := opts.Method
+	if method == Auto {
+		if c.n <= 400 {
+			method = Direct
+		} else {
+			method = GaussSeidel
+		}
+	}
+	switch method {
+	case Direct:
+		return c.steadyDirect()
+	case GaussSeidel:
+		return c.steadyGaussSeidel(opts)
+	case Power:
+		return c.steadyPower(opts)
+	default:
+		return nil, fmt.Errorf("ctmc: unknown method %d", method)
+	}
+}
+
+// steadyDirect solves Q^T pi = 0 with the last equation replaced by the
+// normalization sum(pi) = 1, by dense Gaussian elimination with partial
+// pivoting.
+func (c *Chain) steadyDirect() ([]float64, error) {
+	n := c.n
+	// Assemble A = Q^T with the final row overwritten by ones, b = e_n.
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+	}
+	for i := 0; i < n; i++ {
+		c.gen.Row(i, func(j int, v float64) { a[j][i] += v })
+		a[i][i] += c.diag[i]
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	a[n-1][n] = 1
+
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, fmt.Errorf("ctmc: singular balance system at column %d (chain reducible?)", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := a[r][n]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * pi[k]
+		}
+		pi[r] = sum / a[r][r]
+	}
+	clampAndNormalize(pi)
+	return pi, nil
+}
+
+// steadyGaussSeidel iterates pi_j = (sum_{i != j} pi_i q_ij) / (-q_jj).
+func (c *Chain) steadyGaussSeidel(opts SolveOptions) ([]float64, error) {
+	n := c.n
+	incoming := c.gen.Transpose() // row j holds incoming rates of state j
+
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		maxDelta := 0.0
+		for j := 0; j < n; j++ {
+			if c.diag[j] == 0 {
+				// Absorbing state: in an irreducible chain this cannot
+				// happen; leave the estimate untouched and let the
+				// normalization sort it out (tests cover rejection).
+				continue
+			}
+			var sum float64
+			incoming.Row(j, func(i int, q float64) { sum += pi[i] * q })
+			next := sum / -c.diag[j]
+			delta := math.Abs(next - pi[j])
+			if ref := math.Abs(next); ref > 1 {
+				delta /= ref
+			}
+			if delta > maxDelta {
+				maxDelta = delta
+			}
+			pi[j] = next
+		}
+		normalize(pi)
+		if maxDelta < opts.Tolerance {
+			clampAndNormalize(pi)
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: gauss-seidel after %d iterations", ErrNotConverged, opts.MaxIter)
+}
+
+// steadyPower iterates the uniformized DTMC P = I + Q/Lambda.
+func (c *Chain) steadyPower(opts SolveOptions) ([]float64, error) {
+	n := c.n
+	lambda := c.uniformizationRate()
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// next = pi * P = pi + (pi * Q)/lambda
+		for j := range next {
+			next[j] = pi[j] * (1 + c.diag[j]/lambda)
+		}
+		for i := 0; i < n; i++ {
+			w := pi[i] / lambda
+			if w == 0 {
+				continue
+			}
+			c.gen.Row(i, func(j int, q float64) { next[j] += w * q })
+		}
+		normalize(next)
+		maxDelta := 0.0
+		for j := range next {
+			if d := math.Abs(next[j] - pi[j]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		pi, next = next, pi
+		if maxDelta < opts.Tolerance {
+			clampAndNormalize(pi)
+			return pi, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: power iteration after %d iterations", ErrNotConverged, opts.MaxIter)
+}
+
+// uniformizationRate returns a rate strictly greater than every exit rate.
+func (c *Chain) uniformizationRate() float64 {
+	maxExit := 0.0
+	for _, d := range c.diag {
+		if -d > maxExit {
+			maxExit = -d
+		}
+	}
+	if maxExit == 0 {
+		return 1
+	}
+	return maxExit * 1.02
+}
+
+// Transient returns the state distribution at time t >= 0 starting from the
+// distribution p0, computed by uniformization with adaptive truncation of
+// the Poisson series (truncation error below 1e-12).
+func (c *Chain) Transient(p0 []float64, t float64) ([]float64, error) {
+	c.freeze()
+	if len(p0) != c.n {
+		return nil, fmt.Errorf("ctmc: initial distribution has %d entries, want %d", len(p0), c.n)
+	}
+	if t < 0 || math.IsNaN(t) {
+		return nil, fmt.Errorf("ctmc: invalid time %v", t)
+	}
+	out := make([]float64, c.n)
+	if t == 0 {
+		copy(out, p0)
+		return out, nil
+	}
+	lambda := c.uniformizationRate()
+	lt := lambda * t
+
+	cur := make([]float64, c.n)
+	next := make([]float64, c.n)
+	copy(cur, p0)
+
+	// Accumulate sum_k Poisson(k; lt) * p0 * P^k with scaled weights to
+	// avoid underflow for large lt.
+	logW := -lt // log of Poisson weight at k = 0
+	const tail = 1e-12
+	// Upper truncation: mean + 10 sqrt(mean) + 50 comfortably bounds the
+	// series remainder below the tolerance.
+	kMax := int(lt + 10*math.Sqrt(lt) + 50)
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		if w > 0 {
+			for i := range out {
+				out[i] += w * cur[i]
+			}
+		}
+		if k >= kMax {
+			break
+		}
+		// Early exit once the remaining mass is negligible: the accumulated
+		// weights sum to the Poisson CDF at k.
+		if k > int(lt) && w < tail {
+			break
+		}
+		// next = cur * P
+		for j := range next {
+			next[j] = cur[j] * (1 + c.diag[j]/lambda)
+		}
+		for i := 0; i < c.n; i++ {
+			wi := cur[i] / lambda
+			if wi == 0 {
+				continue
+			}
+			c.gen.Row(i, func(j int, q float64) { next[j] += wi * q })
+		}
+		cur, next = next, cur
+		logW += math.Log(lt / float64(k+1))
+	}
+	clampAndNormalize(out)
+	return out, nil
+}
+
+// AccumulatedProbability returns L(t) with L_i(t) = E[time spent in state
+// i during [0, t]] starting from distribution p0, computed by
+// uniformization: the integral of the transient distribution. Dividing by
+// t yields the interval (time-average) distribution, from which interval
+// availability and accumulated-reward measures derive.
+func (c *Chain) AccumulatedProbability(p0 []float64, t float64) ([]float64, error) {
+	c.freeze()
+	if len(p0) != c.n {
+		return nil, fmt.Errorf("ctmc: initial distribution has %d entries, want %d", len(p0), c.n)
+	}
+	if t < 0 || math.IsNaN(t) {
+		return nil, fmt.Errorf("ctmc: invalid time %v", t)
+	}
+	out := make([]float64, c.n)
+	if t == 0 {
+		return out, nil
+	}
+	lambda := c.uniformizationRate()
+	lt := lambda * t
+
+	cur := make([]float64, c.n)
+	next := make([]float64, c.n)
+	copy(cur, p0)
+
+	// L(t) = (1/Lambda) * sum_k P(N(lt) > k) * p0 P^k, where
+	// P(N(lt) > k) = 1 - PoissonCDF(k; lt). Accumulate the CDF as we go.
+	logW := -lt // log Poisson(0; lt)
+	cdf := 0.0
+	const tail = 1e-12
+	kMax := int(lt + 10*math.Sqrt(lt) + 50)
+	for k := 0; ; k++ {
+		cdf += math.Exp(logW)
+		tailProb := 1 - cdf
+		if tailProb < 0 {
+			tailProb = 0
+		}
+		if tailProb > 0 {
+			w := tailProb / lambda
+			for i := range out {
+				out[i] += w * cur[i]
+			}
+		}
+		if k >= kMax || (k > int(lt) && tailProb < tail) {
+			break
+		}
+		// next = cur * P.
+		for j := range next {
+			next[j] = cur[j] * (1 + c.diag[j]/lambda)
+		}
+		for i := 0; i < c.n; i++ {
+			wi := cur[i] / lambda
+			if wi == 0 {
+				continue
+			}
+			c.gen.Row(i, func(j int, q float64) { next[j] += wi * q })
+		}
+		cur, next = next, cur
+		logW += math.Log(lt / float64(k+1))
+	}
+	return out, nil
+}
+
+// IntervalReward returns (1/t) * E[integral of reward over [0, t]]
+// starting from p0 — e.g. the interval availability when reward is the
+// indicator of up states.
+func (c *Chain) IntervalReward(p0, reward []float64, t float64) (float64, error) {
+	if t <= 0 {
+		return 0, fmt.Errorf("ctmc: interval reward requires positive t, have %v", t)
+	}
+	l, err := c.AccumulatedProbability(p0, t)
+	if err != nil {
+		return 0, err
+	}
+	acc, err := ExpectedReward(l, reward)
+	if err != nil {
+		return 0, err
+	}
+	return acc / t, nil
+}
+
+// ExpectedReward returns sum_i pi_i * reward_i.
+func ExpectedReward(pi, reward []float64) (float64, error) {
+	if len(pi) != len(reward) {
+		return 0, fmt.Errorf("ctmc: reward vector has %d entries, want %d", len(reward), len(pi))
+	}
+	terms := make([]float64, len(pi))
+	for i := range pi {
+		terms[i] = pi[i] * reward[i]
+	}
+	return mathx.KahanSum(terms), nil
+}
+
+// MeanTimeToAbsorption returns, for each transient state, the expected time
+// until the chain first enters any of the given absorbing states, starting
+// from that state. The absorbing set must be non-empty and every state must
+// be able to reach it (otherwise the linear system is singular and an error
+// is returned). Entries for absorbing states are zero.
+func (c *Chain) MeanTimeToAbsorption(absorbing []int) ([]float64, error) {
+	c.freeze()
+	if len(absorbing) == 0 {
+		return nil, errors.New("ctmc: no absorbing states given")
+	}
+	isAbs := make([]bool, c.n)
+	for _, s := range absorbing {
+		if s < 0 || s >= c.n {
+			return nil, fmt.Errorf("ctmc: absorbing state %d out of range", s)
+		}
+		isAbs[s] = true
+	}
+	// Transient-state indexing.
+	idx := make([]int, c.n)
+	var transient []int
+	for i := 0; i < c.n; i++ {
+		if isAbs[i] {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = len(transient)
+		transient = append(transient, i)
+	}
+	m := len(transient)
+	if m == 0 {
+		return make([]float64, c.n), nil
+	}
+	// Solve Q_TT * tau = -1 by dense elimination.
+	a := make([][]float64, m)
+	for r, s := range transient {
+		a[r] = make([]float64, m+1)
+		a[r][idx[s]] = c.diag[s]
+		c.gen.Row(s, func(j int, v float64) {
+			if !isAbs[j] {
+				a[r][idx[j]] += v
+			}
+		})
+		a[r][m] = -1
+	}
+	tau, err := solveDense(a)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: mean time to absorption: %w", err)
+	}
+	out := make([]float64, c.n)
+	for r, s := range transient {
+		out[s] = tau[r]
+	}
+	return out, nil
+}
+
+// solveDense performs in-place Gaussian elimination with partial pivoting
+// on the augmented system a (m rows, m+1 columns) and returns the solution.
+func solveDense(a [][]float64) ([]float64, error) {
+	m := len(a)
+	for col := 0; col < m; col++ {
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-300 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= m; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for r := m - 1; r >= 0; r-- {
+		sum := a[r][m]
+		for k := r + 1; k < m; k++ {
+			sum -= a[r][k] * x[k]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// Validate checks structural well-formedness of the generator: every
+// off-diagonal rate non-negative and every row of Q summing to zero within
+// tolerance. It is primarily a guard for hand-built chains in tests.
+func (c *Chain) Validate() error {
+	c.freeze()
+	for i := 0; i < c.n; i++ {
+		var sum float64
+		bad := false
+		c.gen.Row(i, func(j int, v float64) {
+			sum += v
+			if v < 0 {
+				bad = true
+			}
+		})
+		if bad {
+			return fmt.Errorf("ctmc: negative off-diagonal rate in row %d", i)
+		}
+		if !mathx.AlmostEqual(sum, -c.diag[i], 1e-9) {
+			return fmt.Errorf("ctmc: row %d of generator does not sum to zero", i)
+		}
+	}
+	return nil
+}
+
+func normalize(v []float64) {
+	sum := mathx.KahanSum(v)
+	if sum == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+func clampAndNormalize(v []float64) {
+	for i := range v {
+		if v[i] < 0 && v[i] > -1e-9 {
+			v[i] = 0
+		}
+	}
+	normalize(v)
+}

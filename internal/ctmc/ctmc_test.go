@@ -1,0 +1,441 @@
+package ctmc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redpatch/internal/mathx"
+)
+
+// twoState builds the canonical up/down availability chain with failure
+// rate lambda and repair rate mu. Its stationary distribution is known in
+// closed form: pi_up = mu/(lambda+mu).
+func twoState(t *testing.T, lambda, mu float64) *Chain {
+	t.Helper()
+	c := New(2)
+	if err := c.AddRate(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAddRateValidation(t *testing.T) {
+	c := New(2)
+	tests := []struct {
+		name    string
+		i, j    int
+		rate    float64
+		wantErr bool
+	}{
+		{name: "ok", i: 0, j: 1, rate: 1, wantErr: false},
+		{name: "selfLoop", i: 0, j: 0, rate: 1, wantErr: true},
+		{name: "outOfRange", i: 0, j: 5, rate: 1, wantErr: true},
+		{name: "negativeRate", i: 1, j: 0, rate: -2, wantErr: true},
+		{name: "zeroRate", i: 1, j: 0, rate: 0, wantErr: true},
+		{name: "nanRate", i: 1, j: 0, rate: math.NaN(), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := c.AddRate(tt.i, tt.j, tt.rate)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("AddRate(%d,%d,%v) err = %v, wantErr %v", tt.i, tt.j, tt.rate, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewPanicsOnEmptyChain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAddRateAfterFreeze(t *testing.T) {
+	c := twoState(t, 1, 2)
+	if _, err := c.SteadyState(SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(0, 1, 1); err == nil {
+		t.Error("AddRate after solve should fail")
+	}
+}
+
+func TestTwoStateSteadyStateAllMethods(t *testing.T) {
+	const lambda, mu = 0.25, 2.0
+	wantUp := mu / (lambda + mu)
+	for _, method := range []Method{Direct, GaussSeidel, Power, Auto} {
+		c := twoState(t, lambda, mu)
+		pi, err := c.SteadyState(SolveOptions{Method: method})
+		if err != nil {
+			t.Fatalf("method %d: %v", method, err)
+		}
+		if !mathx.AlmostEqual(pi[0], wantUp, 1e-9) {
+			t.Errorf("method %d: pi_up = %v, want %v", method, pi[0], wantUp)
+		}
+		if !mathx.AlmostEqual(pi[0]+pi[1], 1, 1e-12) {
+			t.Errorf("method %d: distribution does not sum to 1", method)
+		}
+	}
+}
+
+// birthDeath builds an M/M/1-like chain truncated at n states with birth
+// rate lambda and death rate mu; stationary pi_i proportional to rho^i.
+func birthDeath(t *testing.T, n int, lambda, mu float64) *Chain {
+	t.Helper()
+	c := New(n)
+	for i := 0; i < n-1; i++ {
+		if err := c.AddRate(i, i+1, lambda); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddRate(i+1, i, mu); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestBirthDeathClosedForm(t *testing.T) {
+	const n, lambda, mu = 8, 0.7, 1.3
+	rho := lambda / mu
+	var norm float64
+	for i := 0; i < n; i++ {
+		norm += math.Pow(rho, float64(i))
+	}
+	for _, method := range []Method{Direct, GaussSeidel, Power} {
+		c := birthDeath(t, n, lambda, mu)
+		pi, err := c.SteadyState(SolveOptions{Method: method})
+		if err != nil {
+			t.Fatalf("method %d: %v", method, err)
+		}
+		for i := 0; i < n; i++ {
+			want := math.Pow(rho, float64(i)) / norm
+			if !mathx.AlmostEqual(pi[i], want, 1e-8) {
+				t.Errorf("method %d: pi[%d] = %v, want %v", method, i, pi[i], want)
+			}
+		}
+	}
+}
+
+func TestMethodsAgreeOnRandomChains(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		direct := New(n)
+		gs := New(n)
+		pow := New(n)
+		// Ring plus random chords guarantees irreducibility.
+		for i := 0; i < n; i++ {
+			r := 0.1 + rng.Float64()*5
+			for _, c := range []*Chain{direct, gs, pow} {
+				if err := c.AddRate(i, (i+1)%n, r); err != nil {
+					return false
+				}
+			}
+			if rng.Intn(2) == 0 {
+				j := rng.Intn(n)
+				if j != i {
+					r2 := 0.1 + rng.Float64()*5
+					for _, c := range []*Chain{direct, gs, pow} {
+						if err := c.AddRate(i, j, r2); err != nil {
+							return false
+						}
+					}
+				}
+			}
+		}
+		pd, err := direct.SteadyState(SolveOptions{Method: Direct})
+		if err != nil {
+			return false
+		}
+		pg, err := gs.SteadyState(SolveOptions{Method: GaussSeidel})
+		if err != nil {
+			return false
+		}
+		pp, err := pow.SteadyState(SolveOptions{Method: Power, Tolerance: 1e-13})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !mathx.AlmostEqual(pd[i], pg[i], 1e-6) || !mathx.AlmostEqual(pd[i], pp[i], 1e-5) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteadyStateBalanced(t *testing.T) {
+	// Verify pi*Q = 0 numerically on a random chain.
+	rng := rand.New(rand.NewSource(7))
+	n := 12
+	c := New(n)
+	for i := 0; i < n; i++ {
+		if err := c.AddRate(i, (i+1)%n, 0.5+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AddRate(i, (i+3)%n, 0.5+rng.Float64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi, err := c.SteadyState(SolveOptions{Method: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.Generator()
+	res := make([]float64, n)
+	q.MulVecLeft(res, pi)
+	for i, r := range res {
+		if math.Abs(r) > 1e-10 {
+			t.Errorf("residual (pi*Q)[%d] = %v, want ~0", i, r)
+		}
+	}
+}
+
+func TestReducibleChainDirectFails(t *testing.T) {
+	// Two disconnected components: stationary distribution is not unique.
+	c := New(4)
+	if err := c.AddRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(3, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SteadyState(SolveOptions{Method: Direct}); err == nil {
+		t.Error("Direct solve of reducible chain should fail")
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	c := twoState(t, 0.5, 1.5)
+	p0 := []float64{1, 0}
+	pt, err := c.Transient(p0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantUp := 1.5 / 2.0
+	if !mathx.AlmostEqual(pt[0], wantUp, 1e-9) {
+		t.Errorf("transient at t=50: p_up = %v, want %v", pt[0], wantUp)
+	}
+}
+
+func TestTransientMatchesClosedForm(t *testing.T) {
+	// For the two-state chain: p_up(t) = pi_up + (1-pi_up) e^{-(l+m)t}.
+	const lambda, mu = 0.4, 1.1
+	c := twoState(t, lambda, mu)
+	piUp := mu / (lambda + mu)
+	for _, tm := range []float64{0, 0.1, 0.5, 1, 2, 5} {
+		pt, err := c.Transient([]float64{1, 0}, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := piUp + (1-piUp)*math.Exp(-(lambda+mu)*tm)
+		if !mathx.AlmostEqual(pt[0], want, 1e-9) {
+			t.Errorf("p_up(%v) = %v, want %v", tm, pt[0], want)
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	if _, err := c.Transient([]float64{1}, 1); err == nil {
+		t.Error("wrong-length p0 should fail")
+	}
+	if _, err := c.Transient([]float64{1, 0}, -1); err == nil {
+		t.Error("negative time should fail")
+	}
+}
+
+func TestTransientPreservesProbability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		c := New(n)
+		for i := 0; i < n; i++ {
+			if err := c.AddRate(i, (i+1)%n, 0.2+rng.Float64()*3); err != nil {
+				return false
+			}
+		}
+		p0 := make([]float64, n)
+		p0[rng.Intn(n)] = 1
+		pt, err := c.Transient(p0, rng.Float64()*10)
+		if err != nil {
+			return false
+		}
+		return mathx.AlmostEqual(mathx.KahanSum(pt), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatedProbabilityMatchesClosedForm(t *testing.T) {
+	// Two-state chain: L_up(t) = pi_up*t + (1-pi_up)(1-e^{-(l+m)t})/(l+m)
+	// starting from up.
+	const lambda, mu = 0.4, 1.1
+	c := twoState(t, lambda, mu)
+	piUp := mu / (lambda + mu)
+	rate := lambda + mu
+	for _, tm := range []float64{0.1, 0.5, 1, 3, 10} {
+		l, err := c.AccumulatedProbability([]float64{1, 0}, tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := piUp*tm + (1-piUp)*(1-math.Exp(-rate*tm))/rate
+		if !mathx.AlmostEqual(l[0], want, 1e-8) {
+			t.Errorf("L_up(%v) = %v, want %v", tm, l[0], want)
+		}
+		// Occupancies over [0, t] must sum to t.
+		if !mathx.AlmostEqual(l[0]+l[1], tm, 1e-8) {
+			t.Errorf("sum L(%v) = %v, want %v", tm, l[0]+l[1], tm)
+		}
+	}
+}
+
+func TestAccumulatedProbabilityEdgeCases(t *testing.T) {
+	c := twoState(t, 1, 1)
+	l, err := c.AccumulatedProbability([]float64{1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l[0] != 0 || l[1] != 0 {
+		t.Error("L(0) must be zero")
+	}
+	if _, err := c.AccumulatedProbability([]float64{1}, 1); err == nil {
+		t.Error("wrong-length p0 should fail")
+	}
+	if _, err := c.AccumulatedProbability([]float64{1, 0}, -1); err == nil {
+		t.Error("negative t should fail")
+	}
+}
+
+func TestIntervalRewardConvergesToSteadyState(t *testing.T) {
+	const lambda, mu = 0.5, 1.5
+	c := twoState(t, lambda, mu)
+	reward := []float64{1, 0}
+	got, err := c.IntervalReward([]float64{1, 0}, reward, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mu / (lambda + mu)
+	if !mathx.AlmostEqual(got, want, 1e-3) {
+		t.Errorf("interval reward over long horizon = %v, want ≈ %v", got, want)
+	}
+	// Short horizon from the up state: availability near 1.
+	short, err := c.IntervalReward([]float64{1, 0}, reward, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short < 0.99 {
+		t.Errorf("interval reward over short horizon = %v, want ≈ 1", short)
+	}
+	if _, err := c.IntervalReward([]float64{1, 0}, reward, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+}
+
+func TestExpectedReward(t *testing.T) {
+	got, err := ExpectedReward([]float64{0.25, 0.75}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.25 {
+		t.Errorf("ExpectedReward = %v, want 0.25", got)
+	}
+	if _, err := ExpectedReward([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestMeanTimeToAbsorption(t *testing.T) {
+	// Pure death chain 2 -> 1 -> 0 with rate mu: MTTA from state i is i/mu.
+	const mu = 4.0
+	c := New(3)
+	if err := c.AddRate(2, 1, mu); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	tau, err := c.MeanTimeToAbsorption([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(tau[1], 1/mu, 1e-12) || !mathx.AlmostEqual(tau[2], 2/mu, 1e-12) {
+		t.Errorf("MTTA = %v, want [0 %v %v]", tau, 1/mu, 2/mu)
+	}
+	if tau[0] != 0 {
+		t.Errorf("MTTA of absorbing state = %v, want 0", tau[0])
+	}
+}
+
+func TestMeanTimeToAbsorptionValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	if _, err := c.MeanTimeToAbsorption(nil); err == nil {
+		t.Error("empty absorbing set should fail")
+	}
+	if _, err := c.MeanTimeToAbsorption([]int{9}); err == nil {
+		t.Error("out-of-range absorbing state should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := twoState(t, 1, 2)
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate on well-formed chain: %v", err)
+	}
+}
+
+func TestGeneratorRowsSumToZero(t *testing.T) {
+	c := birthDeath(t, 5, 0.9, 1.4)
+	q := c.Generator()
+	for _, s := range q.RowSums() {
+		if math.Abs(s) > 1e-12 {
+			t.Errorf("generator row sum = %v, want 0", s)
+		}
+	}
+}
+
+func TestExitRate(t *testing.T) {
+	c := New(3)
+	if err := c.AddRate(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddRate(2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ExitRate(0); got != 5 {
+		t.Errorf("ExitRate(0) = %v, want 5", got)
+	}
+}
+
+func TestNotConvergedError(t *testing.T) {
+	c := twoState(t, 1, 3)
+	_, err := c.SteadyState(SolveOptions{Method: Power, Tolerance: 1e-16, MaxIter: 1})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Errorf("expected ErrNotConverged, got %v", err)
+	}
+}

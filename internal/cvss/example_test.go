@@ -1,0 +1,29 @@
+package cvss_test
+
+import (
+	"fmt"
+
+	"redpatch/internal/cvss"
+)
+
+// ExampleParse scores the paper's headline MySQL vulnerability
+// (CVE-2016-6662, Table I row v1db).
+func ExampleParse() {
+	v, err := cvss.Parse("AV:N/AC:L/Au:N/C:C/I:C/A:C")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("base %.1f impact %.1f asp %.2f %s\n",
+		v.BaseScore(), v.ImpactScoreRounded(), v.AttackSuccessProbability(), v.Severity())
+	// Output: base 10.0 impact 10.0 asp 1.00 HIGH
+}
+
+// ExampleParseV3 scores Log4Shell with the v3.1 engine.
+func ExampleParseV3() {
+	v, err := cvss.ParseV3("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("base %.1f (%s)\n", v.BaseScore(), v.Severity())
+	// Output: base 10.0 (CRITICAL)
+}

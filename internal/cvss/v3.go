@@ -1,0 +1,445 @@
+package cvss
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements CVSS v3.1 base scoring (first.org specification).
+// The paper predates v3 adoption and works from v2, but NVD stopped
+// issuing v2 scores for new CVEs in 2022; supporting v3.1 lets the
+// framework consume current vulnerability data. V3Vector.ToModelInputs
+// adapts v3.1 scores to the paper's model inputs the same way the paper
+// adapts v2 (impact sub-score as attack impact, normalized exploitability
+// as attack success probability).
+
+// V3AttackVector is the AV base metric of CVSS v3.1.
+type V3AttackVector int
+
+// V3 attack vector values.
+const (
+	V3AVPhysical V3AttackVector = iota + 1
+	V3AVLocal
+	V3AVAdjacent
+	V3AVNetwork
+)
+
+// V3AttackComplexity is the AC base metric.
+type V3AttackComplexity int
+
+// V3 attack complexity values.
+const (
+	V3ACHigh V3AttackComplexity = iota + 1
+	V3ACLow
+)
+
+// V3PrivilegesRequired is the PR base metric.
+type V3PrivilegesRequired int
+
+// V3 privileges-required values.
+const (
+	V3PRHigh V3PrivilegesRequired = iota + 1
+	V3PRLow
+	V3PRNone
+)
+
+// V3UserInteraction is the UI base metric.
+type V3UserInteraction int
+
+// V3 user-interaction values.
+const (
+	V3UIRequired V3UserInteraction = iota + 1
+	V3UINone
+)
+
+// V3Scope is the S base metric.
+type V3Scope int
+
+// V3 scope values.
+const (
+	V3ScopeUnchanged V3Scope = iota + 1
+	V3ScopeChanged
+)
+
+// V3Impact is the value of the C, I and A base metrics.
+type V3Impact int
+
+// V3 impact values.
+const (
+	V3ImpactNone V3Impact = iota + 1
+	V3ImpactLow
+	V3ImpactHigh
+)
+
+// V3Vector is a parsed CVSS v3.1 base vector.
+type V3Vector struct {
+	AV V3AttackVector
+	AC V3AttackComplexity
+	PR V3PrivilegesRequired
+	UI V3UserInteraction
+	S  V3Scope
+	C  V3Impact
+	I  V3Impact
+	A  V3Impact
+}
+
+// Validate reports whether every metric holds a defined value.
+func (v V3Vector) Validate() error {
+	if v.AV < V3AVPhysical || v.AV > V3AVNetwork {
+		return fmt.Errorf("cvss: invalid v3 attack vector %d", v.AV)
+	}
+	if v.AC < V3ACHigh || v.AC > V3ACLow {
+		return fmt.Errorf("cvss: invalid v3 attack complexity %d", v.AC)
+	}
+	if v.PR < V3PRHigh || v.PR > V3PRNone {
+		return fmt.Errorf("cvss: invalid v3 privileges required %d", v.PR)
+	}
+	if v.UI < V3UIRequired || v.UI > V3UINone {
+		return fmt.Errorf("cvss: invalid v3 user interaction %d", v.UI)
+	}
+	if v.S < V3ScopeUnchanged || v.S > V3ScopeChanged {
+		return fmt.Errorf("cvss: invalid v3 scope %d", v.S)
+	}
+	for _, i := range []V3Impact{v.C, v.I, v.A} {
+		if i < V3ImpactNone || i > V3ImpactHigh {
+			return fmt.Errorf("cvss: invalid v3 impact value %d", i)
+		}
+	}
+	return nil
+}
+
+func (v V3Vector) avWeight() float64 {
+	switch v.AV {
+	case V3AVPhysical:
+		return 0.20
+	case V3AVLocal:
+		return 0.55
+	case V3AVAdjacent:
+		return 0.62
+	case V3AVNetwork:
+		return 0.85
+	}
+	return 0
+}
+
+func (v V3Vector) acWeight() float64 {
+	if v.AC == V3ACHigh {
+		return 0.44
+	}
+	return 0.77
+}
+
+func (v V3Vector) prWeight() float64 {
+	changed := v.S == V3ScopeChanged
+	switch v.PR {
+	case V3PRNone:
+		return 0.85
+	case V3PRLow:
+		if changed {
+			return 0.68
+		}
+		return 0.62
+	case V3PRHigh:
+		if changed {
+			return 0.50
+		}
+		return 0.27
+	}
+	return 0
+}
+
+func (v V3Vector) uiWeight() float64 {
+	if v.UI == V3UINone {
+		return 0.85
+	}
+	return 0.62
+}
+
+func v3ImpactWeight(i V3Impact) float64 {
+	switch i {
+	case V3ImpactNone:
+		return 0
+	case V3ImpactLow:
+		return 0.22
+	case V3ImpactHigh:
+		return 0.56
+	}
+	return 0
+}
+
+// ISS returns the impact sub-score base 1 - (1-C)(1-I)(1-A).
+func (v V3Vector) ISS() float64 {
+	return 1 - (1-v3ImpactWeight(v.C))*(1-v3ImpactWeight(v.I))*(1-v3ImpactWeight(v.A))
+}
+
+// ImpactScore returns the v3.1 impact sub-score (unrounded, possibly
+// negative for zero-impact vectors; callers clamp via BaseScore).
+func (v V3Vector) ImpactScore() float64 {
+	iss := v.ISS()
+	if v.S == V3ScopeUnchanged {
+		return 6.42 * iss
+	}
+	return 7.52*(iss-0.029) - 3.25*math.Pow(iss-0.02, 15)
+}
+
+// ExploitabilityScore returns the v3.1 exploitability sub-score:
+// 8.22 * AV * AC * PR * UI.
+func (v V3Vector) ExploitabilityScore() float64 {
+	return 8.22 * v.avWeight() * v.acWeight() * v.prWeight() * v.uiWeight()
+}
+
+// BaseScore returns the CVSS v3.1 base score with the specification's
+// roundup-to-one-decimal rule.
+func (v V3Vector) BaseScore() float64 {
+	impact := v.ImpactScore()
+	if impact <= 0 {
+		return 0
+	}
+	expl := v.ExploitabilityScore()
+	var score float64
+	if v.S == V3ScopeUnchanged {
+		score = math.Min(impact+expl, 10)
+	} else {
+		score = math.Min(1.08*(impact+expl), 10)
+	}
+	return roundup(score)
+}
+
+// roundup implements the v3.1 specification's Roundup: the smallest
+// number with one decimal place that is >= the input, with integer
+// arithmetic guarding against floating-point residue.
+func roundup(x float64) float64 {
+	i := int(math.Round(x * 100000))
+	if i%10000 == 0 {
+		return float64(i) / 100000
+	}
+	return (math.Floor(float64(i)/10000) + 1) / 10
+}
+
+// V3Severity returns the v3.x qualitative rating: None 0.0, Low 0.1–3.9,
+// Medium 4.0–6.9, High 7.0–8.9, Critical 9.0–10.0.
+type V3Severity int
+
+// V3 severity bands.
+const (
+	V3SeverityNone V3Severity = iota
+	V3SeverityLow
+	V3SeverityMedium
+	V3SeverityHigh
+	V3SeverityCritical
+)
+
+// String returns the severity label.
+func (s V3Severity) String() string {
+	switch s {
+	case V3SeverityNone:
+		return "NONE"
+	case V3SeverityLow:
+		return "LOW"
+	case V3SeverityMedium:
+		return "MEDIUM"
+	case V3SeverityHigh:
+		return "HIGH"
+	case V3SeverityCritical:
+		return "CRITICAL"
+	default:
+		return fmt.Sprintf("V3Severity(%d)", int(s))
+	}
+}
+
+// Severity classifies the base score.
+func (v V3Vector) Severity() V3Severity {
+	switch s := v.BaseScore(); {
+	case s == 0:
+		return V3SeverityNone
+	case s < 4.0:
+		return V3SeverityLow
+	case s < 7.0:
+		return V3SeverityMedium
+	case s < 9.0:
+		return V3SeverityHigh
+	default:
+		return V3SeverityCritical
+	}
+}
+
+// ModelInputs are the paper-model parameters derived from a score: the
+// attack impact on the 0–10 scale of Table I and the attack success
+// probability in [0, 1].
+type ModelInputs struct {
+	Impact float64
+	ASP    float64
+}
+
+// ToModelInputs adapts a v3.1 vector to the paper's inputs the same way
+// the paper adapts v2: impact sub-score (v3's tops out at 6.0 for
+// unchanged scope, so it is rescaled by 10/6.0 and capped at 10) and
+// exploitability normalized by its 3.89 maximum, both rounded as Table I
+// rounds them.
+func (v V3Vector) ToModelInputs() ModelInputs {
+	impact := v.ImpactScore()
+	if impact < 0 {
+		impact = 0
+	}
+	scaled := impact * 10 / 6.0
+	if scaled > 10 {
+		scaled = 10
+	}
+	const maxExploitability = 3.8870355199999994 // 8.22 * 0.85 * 0.77 * 0.85 * 0.85
+	asp := v.ExploitabilityScore() / maxExploitability
+	if asp > 1 {
+		asp = 1
+	}
+	return ModelInputs{
+		Impact: math.Round(scaled*10) / 10,
+		ASP:    math.Round(asp*100) / 100,
+	}
+}
+
+// ParseV3 parses a CVSS v3.1 base vector such as
+// "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H". The "CVSS:3.x" prefix
+// is optional; all eight base metrics must appear exactly once.
+func ParseV3(s string) (V3Vector, error) {
+	s = strings.TrimSpace(s)
+	for _, prefix := range []string{"CVSS:3.1/", "CVSS:3.0/"} {
+		if strings.HasPrefix(s, prefix) {
+			s = strings.TrimPrefix(s, prefix)
+			break
+		}
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 8 {
+		return V3Vector{}, fmt.Errorf("cvss: v3 vector %q must have 8 base metrics, found %d", s, len(parts))
+	}
+	var v V3Vector
+	seen := make(map[string]bool, 8)
+	for _, part := range parts {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return V3Vector{}, fmt.Errorf("cvss: malformed v3 metric %q", part)
+		}
+		name, val := kv[0], kv[1]
+		if seen[name] {
+			return V3Vector{}, fmt.Errorf("cvss: duplicate v3 metric %q", name)
+		}
+		seen[name] = true
+		var err error
+		switch name {
+		case "AV":
+			v.AV, err = parseV3AV(val)
+		case "AC":
+			v.AC, err = parseV3AC(val)
+		case "PR":
+			v.PR, err = parseV3PR(val)
+		case "UI":
+			v.UI, err = parseV3UI(val)
+		case "S":
+			v.S, err = parseV3S(val)
+		case "C":
+			v.C, err = parseV3Impact(val)
+		case "I":
+			v.I, err = parseV3Impact(val)
+		case "A":
+			v.A, err = parseV3Impact(val)
+		default:
+			err = fmt.Errorf("cvss: unknown v3 metric %q", name)
+		}
+		if err != nil {
+			return V3Vector{}, err
+		}
+	}
+	if err := v.Validate(); err != nil {
+		return V3Vector{}, fmt.Errorf("cvss: v3 vector %q incomplete: %w", s, err)
+	}
+	return v, nil
+}
+
+// MustParseV3 is ParseV3 for statically known vectors; panics on error.
+func MustParseV3(s string) V3Vector {
+	v, err := ParseV3(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the vector in canonical form with the CVSS:3.1 prefix.
+func (v V3Vector) String() string {
+	av := map[V3AttackVector]string{V3AVPhysical: "P", V3AVLocal: "L", V3AVAdjacent: "A", V3AVNetwork: "N"}[v.AV]
+	ac := map[V3AttackComplexity]string{V3ACHigh: "H", V3ACLow: "L"}[v.AC]
+	pr := map[V3PrivilegesRequired]string{V3PRHigh: "H", V3PRLow: "L", V3PRNone: "N"}[v.PR]
+	ui := map[V3UserInteraction]string{V3UIRequired: "R", V3UINone: "N"}[v.UI]
+	sc := map[V3Scope]string{V3ScopeUnchanged: "U", V3ScopeChanged: "C"}[v.S]
+	imp := map[V3Impact]string{V3ImpactNone: "N", V3ImpactLow: "L", V3ImpactHigh: "H"}
+	return fmt.Sprintf("CVSS:3.1/AV:%s/AC:%s/PR:%s/UI:%s/S:%s/C:%s/I:%s/A:%s",
+		av, ac, pr, ui, sc, imp[v.C], imp[v.I], imp[v.A])
+}
+
+func parseV3AV(s string) (V3AttackVector, error) {
+	switch s {
+	case "P":
+		return V3AVPhysical, nil
+	case "L":
+		return V3AVLocal, nil
+	case "A":
+		return V3AVAdjacent, nil
+	case "N":
+		return V3AVNetwork, nil
+	}
+	return 0, fmt.Errorf("cvss: invalid v3 AV value %q", s)
+}
+
+func parseV3AC(s string) (V3AttackComplexity, error) {
+	switch s {
+	case "H":
+		return V3ACHigh, nil
+	case "L":
+		return V3ACLow, nil
+	}
+	return 0, fmt.Errorf("cvss: invalid v3 AC value %q", s)
+}
+
+func parseV3PR(s string) (V3PrivilegesRequired, error) {
+	switch s {
+	case "H":
+		return V3PRHigh, nil
+	case "L":
+		return V3PRLow, nil
+	case "N":
+		return V3PRNone, nil
+	}
+	return 0, fmt.Errorf("cvss: invalid v3 PR value %q", s)
+}
+
+func parseV3UI(s string) (V3UserInteraction, error) {
+	switch s {
+	case "R":
+		return V3UIRequired, nil
+	case "N":
+		return V3UINone, nil
+	}
+	return 0, fmt.Errorf("cvss: invalid v3 UI value %q", s)
+}
+
+func parseV3S(s string) (V3Scope, error) {
+	switch s {
+	case "U":
+		return V3ScopeUnchanged, nil
+	case "C":
+		return V3ScopeChanged, nil
+	}
+	return 0, fmt.Errorf("cvss: invalid v3 S value %q", s)
+}
+
+func parseV3Impact(s string) (V3Impact, error) {
+	switch s {
+	case "N":
+		return V3ImpactNone, nil
+	case "L":
+		return V3ImpactLow, nil
+	case "H":
+		return V3ImpactHigh, nil
+	}
+	return 0, fmt.Errorf("cvss: invalid v3 impact value %q", s)
+}

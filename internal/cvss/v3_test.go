@@ -1,0 +1,229 @@
+package cvss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestV3KnownScores pins the v3.1 implementation to widely published NVD
+// scores.
+func TestV3KnownScores(t *testing.T) {
+	tests := []struct {
+		name   string
+		vector string
+		want   float64
+	}{
+		{
+			name:   "log4shell", // CVE-2021-44228
+			vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H",
+			want:   10.0,
+		},
+		{
+			name:   "fullUnchanged", // e.g. CVE-2019-0708 BlueKeep
+			vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",
+			want:   9.8,
+		},
+		{
+			name:   "lowPrivFull",
+			vector: "CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+			want:   8.8,
+		},
+		{
+			name:   "highComplexityFull", // e.g. CVE-2017-0144 EternalBlue per NVD
+			vector: "CVSS:3.1/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+			want:   8.1,
+		},
+		{
+			name:   "confidentialityOnly", // e.g. CVE-2014-0160 Heartbleed
+			vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N",
+			want:   7.5,
+		},
+		{
+			name:   "lowConfidentialityOnly",
+			vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N",
+			want:   5.3,
+		},
+		{
+			name:   "localUserInteraction",
+			vector: "CVSS:3.1/AV:L/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H",
+			want:   7.8,
+		},
+		{
+			name:   "noImpact",
+			vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N",
+			want:   0.0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := MustParseV3(tt.vector)
+			if got := v.BaseScore(); got != tt.want {
+				t.Errorf("BaseScore = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestV3Severity(t *testing.T) {
+	tests := []struct {
+		vector string
+		want   V3Severity
+	}{
+		{vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", want: V3SeverityCritical},
+		{vector: "CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H", want: V3SeverityHigh},
+		{vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:L/I:N/A:N", want: V3SeverityMedium},
+		{vector: "CVSS:3.1/AV:P/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", want: V3SeverityLow},
+		{vector: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", want: V3SeverityNone},
+	}
+	for _, tt := range tests {
+		v := MustParseV3(tt.vector)
+		if got := v.Severity(); got != tt.want {
+			t.Errorf("Severity(%s) = %v (base %v), want %v", tt.vector, got, v.BaseScore(), tt.want)
+		}
+	}
+	if V3SeverityCritical.String() != "CRITICAL" || V3SeverityNone.String() != "NONE" {
+		t.Error("severity labels wrong")
+	}
+}
+
+func TestV3ParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+	}{
+		{name: "empty", give: ""},
+		{name: "tooFew", give: "AV:N/AC:L/PR:N"},
+		{name: "badValue", give: "CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"},
+		{name: "duplicate", give: "CVSS:3.1/AV:N/AV:N/PR:N/UI:N/S:U/C:H/I:H/A:H"},
+		{name: "unknownMetric", give: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/Z:H"},
+		{name: "malformed", give: "CVSS:3.1/AVN/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseV3(tt.give); err == nil {
+				t.Errorf("ParseV3(%q) should fail", tt.give)
+			}
+		})
+	}
+}
+
+func TestV3RoundTrip(t *testing.T) {
+	s := "CVSS:3.1/AV:N/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:N"
+	v := MustParseV3(s)
+	if got := v.String(); got != s {
+		t.Errorf("round trip %q -> %q", s, got)
+	}
+	// The 3.0 prefix parses too (same base formulas in 3.1).
+	if _, err := ParseV3("CVSS:3.0/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H"); err != nil {
+		t.Errorf("3.0 prefix should parse: %v", err)
+	}
+}
+
+func TestRoundup(t *testing.T) {
+	tests := []struct {
+		give float64
+		want float64
+	}{
+		{give: 4.0, want: 4.0},
+		{give: 4.02, want: 4.1},
+		{give: 4.0000004, want: 4.0}, // float residue must not bump the score
+		{give: 9.86, want: 9.9},
+		{give: 0, want: 0},
+	}
+	for _, tt := range tests {
+		if got := roundup(tt.give); got != tt.want {
+			t.Errorf("roundup(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func randomV3(rng *rand.Rand) V3Vector {
+	return V3Vector{
+		AV: V3AttackVector(1 + rng.Intn(4)),
+		AC: V3AttackComplexity(1 + rng.Intn(2)),
+		PR: V3PrivilegesRequired(1 + rng.Intn(3)),
+		UI: V3UserInteraction(1 + rng.Intn(2)),
+		S:  V3Scope(1 + rng.Intn(2)),
+		C:  V3Impact(1 + rng.Intn(3)),
+		I:  V3Impact(1 + rng.Intn(3)),
+		A:  V3Impact(1 + rng.Intn(3)),
+	}
+}
+
+// TestV3ScoreProperties: scores stay within [0, 10] with one decimal, and
+// parsing round-trips, over the whole metric space.
+func TestV3ScoreProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomV3(rng)
+		if v.Validate() != nil {
+			return false
+		}
+		s := v.BaseScore()
+		if s < 0 || s > 10 {
+			return false
+		}
+		if math.Abs(s*10-math.Round(s*10)) > 1e-9 {
+			return false // must have one decimal place
+		}
+		parsed, err := ParseV3(v.String())
+		if err != nil || parsed != v {
+			return false
+		}
+		in := v.ToModelInputs()
+		return in.Impact >= 0 && in.Impact <= 10 && in.ASP >= 0 && in.ASP <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestV3Monotonicity: raising any impact metric never lowers the base
+// score (scope unchanged to avoid the changed-scope impact dip at high
+// ISS, which is a documented property of the v3.1 formula).
+func TestV3Monotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomV3(rng)
+		v.S = V3ScopeUnchanged
+		base := v.BaseScore()
+		if v.C < V3ImpactHigh {
+			w := v
+			w.C++
+			if w.BaseScore() < base {
+				return false
+			}
+		}
+		if v.A < V3ImpactHigh {
+			w := v
+			w.A++
+			if w.BaseScore() < base {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestV3ToModelInputs(t *testing.T) {
+	// Full unchanged-scope impact (ISS weight 0.56^3 path): impact
+	// sub-score 5.873 -> scaled 9.8; exploitability 3.887 -> ASP 1.0.
+	v := MustParseV3("CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H")
+	in := v.ToModelInputs()
+	if in.ASP != 1.0 {
+		t.Errorf("ASP = %v, want 1.0", in.ASP)
+	}
+	if in.Impact < 9.5 || in.Impact > 10 {
+		t.Errorf("Impact = %v, want near 10", in.Impact)
+	}
+	// A local high-complexity vector maps to a low ASP.
+	local := MustParseV3("CVSS:3.1/AV:L/AC:H/PR:L/UI:R/S:U/C:H/I:H/A:H")
+	if got := local.ToModelInputs().ASP; got >= 0.3 {
+		t.Errorf("local ASP = %v, want well below 0.3", got)
+	}
+}

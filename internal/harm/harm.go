@@ -1,0 +1,501 @@
+// Package harm implements the two-layered Hierarchical Attack
+// Representation Model of Hong & Kim that the paper uses as its security
+// model: the upper layer is an attack graph over host instances
+// (internal/attackgraph), the lower layer an attack tree per host
+// (internal/attacktree). The package builds HARMs from a network topology
+// plus per-role attack-tree templates, applies the security-patch
+// transformation, and evaluates the paper's five security metrics —
+// attack impact (AIM), attack success probability (ASP), number of
+// exploitable vulnerabilities (NoEV), number of attack paths (NoAP) and
+// number of entry points (NoEP).
+package harm
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"redpatch/internal/attackgraph"
+	"redpatch/internal/attacktree"
+	"redpatch/internal/mathx"
+	"redpatch/internal/topology"
+)
+
+// BuildInput carries everything the security model generator needs.
+type BuildInput struct {
+	// Topology is the network with one attacker node and role-annotated
+	// hosts.
+	Topology *topology.Topology
+	// Trees maps a host role (e.g. "web") to its attack-tree template.
+	// Every host of that role receives a clone of the template. Roles
+	// without a template are treated as having no exploitable
+	// vulnerabilities.
+	Trees map[string]*attacktree.Tree
+	// InstanceTrees overrides the role template for specific host
+	// instances by name — the paper's §V heterogeneous redundancy, where
+	// replicas of one tier run different software stacks.
+	InstanceTrees map[string]*attacktree.Tree
+	// TargetRoles are the roles whose hosts are the attacker's goal
+	// (the database servers in the paper).
+	TargetRoles []string
+}
+
+// HARM is a two-layered hierarchical attack representation model.
+type HARM struct {
+	top       *topology.Topology
+	roles     map[string]*attacktree.Tree // templates by role (already pruned for patched HARMs)
+	instances map[string]*attacktree.Tree // per-instance overrides (already pruned for patched HARMs)
+	upper     *attackgraph.Graph
+	lower     map[string]*attacktree.Tree // per host instance; empty trees included
+	attacker  string
+	targets   []string
+	tgtRoles  []string
+}
+
+// Build constructs the HARM: the upper layer contains the attacker and
+// every host whose attack tree is non-empty (a host without exploitable
+// vulnerabilities cannot be compromised, so it cannot appear on an attack
+// path); the lower layer holds a cloned attack tree per host instance.
+func Build(in BuildInput) (*HARM, error) {
+	if in.Topology == nil {
+		return nil, errors.New("harm: nil topology")
+	}
+	if err := in.Topology.Validate(); err != nil {
+		return nil, fmt.Errorf("harm: %w", err)
+	}
+	attackers := in.Topology.Attackers()
+	if len(attackers) != 1 {
+		return nil, fmt.Errorf("harm: want exactly one attacker node, have %d", len(attackers))
+	}
+	if len(in.TargetRoles) == 0 {
+		return nil, errors.New("harm: no target roles")
+	}
+
+	roles := make(map[string]*attacktree.Tree, len(in.Trees))
+	for role, tr := range in.Trees {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("harm: role %q: %w", role, err)
+		}
+		roles[role] = tr.Clone()
+	}
+	instances := make(map[string]*attacktree.Tree, len(in.InstanceTrees))
+	for host, tr := range in.InstanceTrees {
+		if _, ok := in.Topology.Node(host); !ok {
+			return nil, fmt.Errorf("harm: instance tree for unknown host %q", host)
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("harm: host %q: %w", host, err)
+		}
+		instances[host] = tr.Clone()
+	}
+
+	h := &HARM{
+		top:       in.Topology,
+		roles:     roles,
+		instances: instances,
+		lower:     make(map[string]*attacktree.Tree),
+		attacker:  attackers[0].Name,
+		tgtRoles:  append([]string(nil), in.TargetRoles...),
+	}
+
+	targetRole := make(map[string]bool, len(in.TargetRoles))
+	for _, r := range in.TargetRoles {
+		targetRole[r] = true
+	}
+
+	upper := attackgraph.New()
+	if err := upper.AddNode(h.attacker); err != nil {
+		return nil, err
+	}
+	for _, host := range in.Topology.Hosts() {
+		tr := instances[host.Name]
+		if tr == nil {
+			tr = roles[host.Role]
+		}
+		if tr == nil {
+			tr = attacktree.New(nil)
+		}
+		h.lower[host.Name] = tr.Clone()
+		if h.lower[host.Name].Empty() {
+			continue // not attackable: excluded from the upper layer
+		}
+		if err := upper.AddNode(host.Name); err != nil {
+			return nil, err
+		}
+		if targetRole[host.Role] {
+			h.targets = append(h.targets, host.Name)
+		}
+	}
+	sort.Strings(h.targets)
+	if len(h.targets) == 0 {
+		// Legal (e.g. every target patched clean); path metrics are zero.
+		h.upper = upper
+		return h, nil
+	}
+	for _, n := range in.Topology.Nodes() {
+		if !upper.HasNode(n.Name) {
+			continue
+		}
+		for _, to := range in.Topology.Successors(n.Name) {
+			if upper.HasNode(to) {
+				if err := upper.AddEdge(n.Name, to); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	h.upper = upper
+	return h, nil
+}
+
+// Patched returns a new HARM in which every attack-tree leaf rejected by
+// keep has been removed (the paper's patch transformation: patching a
+// vulnerability deletes its leaf, AND-combinations collapse, hosts left
+// with empty trees drop out of the attack graph). keep receives the host
+// role together with the leaf; for instance-tree overrides the role is
+// the host's role from the topology.
+func (h *HARM) Patched(keep func(role string, leaf *attacktree.Leaf) bool) (*HARM, error) {
+	pruned := make(map[string]*attacktree.Tree, len(h.roles))
+	for role, tr := range h.roles {
+		role := role
+		pruned[role] = tr.Prune(func(l *attacktree.Leaf) bool { return keep(role, l) })
+	}
+	prunedInst := make(map[string]*attacktree.Tree, len(h.instances))
+	for host, tr := range h.instances {
+		role := ""
+		if n, ok := h.top.Node(host); ok {
+			role = n.Role
+		}
+		prunedInst[host] = tr.Prune(func(l *attacktree.Leaf) bool { return keep(role, l) })
+	}
+	return Build(BuildInput{
+		Topology:      h.top,
+		Trees:         pruned,
+		InstanceTrees: prunedInst,
+		TargetRoles:   h.tgtRoles,
+	})
+}
+
+// Attacker returns the attacker node name.
+func (h *HARM) Attacker() string { return h.attacker }
+
+// Targets returns the target host names, sorted.
+func (h *HARM) Targets() []string { return append([]string(nil), h.targets...) }
+
+// Hosts returns every host instance name (attackable or not), sorted.
+func (h *HARM) Hosts() []string {
+	out := make([]string, 0, len(h.lower))
+	for name := range h.lower {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tree returns the attack tree of the given host instance (possibly
+// empty), or nil if the host is unknown.
+func (h *HARM) Tree(host string) *attacktree.Tree { return h.lower[host] }
+
+// Upper returns a copy of the upper-layer attack graph.
+func (h *HARM) Upper() *attackgraph.Graph { return h.upper.Clone() }
+
+// ASPStrategy selects how per-path success probabilities aggregate to the
+// network-level ASP. See DESIGN.md §3 for why more than one is provided.
+type ASPStrategy int
+
+// ASP aggregation strategies.
+const (
+	// ASPMaxPath takes the maximum over attack paths of the product of
+	// per-host probabilities — the rule in the framework papers the
+	// authors cite ([18], [20]). Insensitive to redundancy.
+	ASPMaxPath ASPStrategy = iota + 1
+	// ASPIndependentPaths combines path probabilities as 1 - prod(1-p):
+	// each path is an independent chance. Over-counts paths that share
+	// hosts.
+	ASPIndependentPaths
+	// ASPCompromise computes the exact probability that at least one
+	// attack path is fully compromised when each host is independently
+	// compromised with its tree probability (inclusion–exclusion over
+	// paths). This is the package default: it grows with redundancy, as
+	// the paper's Figure 6(b) requires, without over-counting shared
+	// hosts.
+	ASPCompromise
+)
+
+// EvalOptions configures metric evaluation. The zero value applies the
+// documented defaults.
+type EvalOptions struct {
+	// Strategy defaults to ASPCompromise.
+	Strategy ASPStrategy
+	// ORRule defaults to attacktree.ORMax (the HARM literature rule).
+	ORRule attacktree.ORRule
+	// MaxPaths caps attack-path enumeration; default 100000.
+	MaxPaths int
+	// MaxPathsExact caps the exponent of the exact ASPCompromise
+	// computation: min(#paths, #hosts-on-paths) must not exceed it;
+	// default 20.
+	MaxPathsExact int
+}
+
+func (o EvalOptions) withDefaults() EvalOptions {
+	if o.Strategy == 0 {
+		o.Strategy = ASPCompromise
+	}
+	if o.ORRule == 0 {
+		o.ORRule = attacktree.ORMax
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 100000
+	}
+	if o.MaxPathsExact <= 0 {
+		o.MaxPathsExact = 20
+	}
+	return o
+}
+
+// PathMetric is the per-path detail underlying AIM and ASP.
+type PathMetric struct {
+	Path   attackgraph.Path
+	Impact float64 // sum of host impacts along the path
+	Prob   float64 // product of host probabilities along the path
+}
+
+// Metrics are the paper's five security metrics plus per-path detail.
+type Metrics struct {
+	// AIM is the network-level attack impact: max over paths of the path
+	// impact (paper §III-C).
+	AIM float64
+	// ASP is the network-level attack success probability under the
+	// configured strategy.
+	ASP float64
+	// NoEV is the number of exploitable vulnerabilities summed over every
+	// host instance (paper Table II counting rule).
+	NoEV int
+	// NoAP is the number of attack paths.
+	NoAP int
+	// NoEP is the number of entry points (distinct first hops).
+	NoEP int
+	// ShortestPath is the minimum number of hosts the attacker must
+	// compromise to reach a target (0 when no path exists) — the
+	// "shortest attack path" metric of the security-metrics survey the
+	// paper cites.
+	ShortestPath int
+	// Paths is the per-path detail, in deterministic order.
+	Paths []PathMetric
+}
+
+// ErrExactASPInfeasible reports that the exact compromise probability
+// cannot be computed within the configured limits; pick another strategy
+// or raise the caps.
+var ErrExactASPInfeasible = errors.New("harm: exact ASP computation infeasible")
+
+// Evaluate computes the security metrics of the HARM.
+func (h *HARM) Evaluate(opts EvalOptions) (Metrics, error) {
+	opts = opts.withDefaults()
+
+	var m Metrics
+	for _, host := range h.Hosts() {
+		m.NoEV += len(h.lower[host].Leaves())
+	}
+	if len(h.targets) == 0 {
+		return m, nil
+	}
+	paths, err := h.upper.AllPaths(h.attacker, h.targets, attackgraph.AllPathsOptions{MaxPaths: opts.MaxPaths})
+	if err != nil {
+		return Metrics{}, fmt.Errorf("harm: %w", err)
+	}
+	m.NoAP = len(paths)
+	m.NoEP = len(attackgraph.EntryPoints(paths))
+
+	impact := make(map[string]float64, len(h.lower))
+	prob := make(map[string]float64, len(h.lower))
+	for host, tr := range h.lower {
+		impact[host] = tr.Impact()
+		prob[host] = tr.Probability(opts.ORRule)
+	}
+
+	m.Paths = make([]PathMetric, len(paths))
+	for i, p := range paths {
+		pm := PathMetric{Path: p, Prob: 1}
+		for _, host := range p[1:] { // skip the attacker node
+			pm.Impact += impact[host]
+			pm.Prob *= prob[host]
+		}
+		m.Paths[i] = pm
+		if pm.Impact > m.AIM {
+			m.AIM = pm.Impact
+		}
+		if hops := len(p) - 1; m.ShortestPath == 0 || hops < m.ShortestPath {
+			m.ShortestPath = hops
+		}
+	}
+
+	switch opts.Strategy {
+	case ASPMaxPath:
+		for _, pm := range m.Paths {
+			if pm.Prob > m.ASP {
+				m.ASP = pm.Prob
+			}
+		}
+	case ASPIndependentPaths:
+		q := 1.0
+		for _, pm := range m.Paths {
+			q *= 1 - pm.Prob
+		}
+		m.ASP = mathx.Clamp01(1 - q)
+	case ASPCompromise:
+		asp, err := compromiseProbability(paths, prob, opts.MaxPathsExact)
+		if err != nil {
+			return Metrics{}, err
+		}
+		m.ASP = asp
+	default:
+		return Metrics{}, fmt.Errorf("harm: unknown ASP strategy %d", opts.Strategy)
+	}
+	return m, nil
+}
+
+// HostSummary is the per-host view of the security model: the host's own
+// attack-tree metrics plus its centrality (how many attack paths cross
+// it). High-centrality hosts are the chokepoints where hardening or
+// monitoring buys the most.
+type HostSummary struct {
+	Host string
+	// Vulns is the number of exploitable vulnerabilities on the host.
+	Vulns int
+	// Impact and Prob are the host's attack-tree metrics.
+	Impact, Prob float64
+	// Centrality is the number of attack paths through the host.
+	Centrality int
+}
+
+// HostSummaries evaluates the per-host detail, sorted by descending
+// centrality and then by host name.
+func (h *HARM) HostSummaries(opts EvalOptions) ([]HostSummary, error) {
+	opts = opts.withDefaults()
+	var paths []attackgraph.Path
+	if len(h.targets) > 0 {
+		var err error
+		paths, err = h.upper.AllPaths(h.attacker, h.targets, attackgraph.AllPathsOptions{MaxPaths: opts.MaxPaths})
+		if err != nil {
+			return nil, fmt.Errorf("harm: %w", err)
+		}
+	}
+	centrality := attackgraph.Centrality(paths)
+	out := make([]HostSummary, 0, len(h.lower))
+	for _, host := range h.Hosts() {
+		tr := h.lower[host]
+		out = append(out, HostSummary{
+			Host:       host,
+			Vulns:      len(tr.Leaves()),
+			Impact:     tr.Impact(),
+			Prob:       tr.Probability(opts.ORRule),
+			Centrality: centrality[host],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Centrality != out[j].Centrality {
+			return out[i].Centrality > out[j].Centrality
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out, nil
+}
+
+// compromiseProbability computes P(at least one path fully compromised)
+// with hosts compromised independently with probability prob[host]. Two
+// exact algorithms are available and the cheaper one is chosen: inclusion–
+// exclusion over path subsets (2^paths terms) or direct enumeration of
+// host-compromise combinations (2^hosts terms). maxExact caps the chosen
+// exponent; redundant tiered networks have few distinct hosts even when
+// their path counts multiply, so at least one algorithm usually applies.
+func compromiseProbability(paths []attackgraph.Path, prob map[string]float64, maxExact int) (float64, error) {
+	k := len(paths)
+	if k == 0 {
+		return 0, nil
+	}
+	// Index the hosts appearing on any path; 64 suffice for a bitmask.
+	hostIdx := make(map[string]int)
+	var hostProb []float64
+	for _, p := range paths {
+		for _, host := range p[1:] {
+			if _, ok := hostIdx[host]; !ok {
+				hostIdx[host] = len(hostProb)
+				hostProb = append(hostProb, prob[host])
+			}
+		}
+	}
+	h := len(hostProb)
+	if h > 64 {
+		return 0, fmt.Errorf("%w: %d distinct hosts exceed 64", ErrExactASPInfeasible, h)
+	}
+	pathMask := make([]uint64, k)
+	for i, p := range paths {
+		var mask uint64
+		for _, host := range p[1:] {
+			mask |= 1 << uint(hostIdx[host])
+		}
+		pathMask[i] = mask
+	}
+	switch {
+	case k <= maxExact && (k <= h || h > maxExact):
+		return inclusionExclusion(pathMask, hostProb), nil
+	case h <= maxExact:
+		return hostEnumeration(pathMask, hostProb), nil
+	default:
+		return 0, fmt.Errorf("%w: %d paths over %d hosts exceed cap %d", ErrExactASPInfeasible, k, h, maxExact)
+	}
+}
+
+// inclusionExclusion sums, for every non-empty subset S of paths, the
+// probability that every host on the union of S is compromised, with sign
+// (-1)^(|S|+1).
+func inclusionExclusion(pathMask []uint64, hostProb []float64) float64 {
+	k := len(pathMask)
+	total := 0.0
+	unionMask := make([]uint64, 1<<uint(k))
+	for s := 1; s < 1<<uint(k); s++ {
+		low := bits.TrailingZeros(uint(s))
+		unionMask[s] = unionMask[s&(s-1)] | pathMask[low]
+		p := 1.0
+		for m := unionMask[s]; m != 0; m &= m - 1 {
+			p *= hostProb[bits.TrailingZeros64(m)]
+		}
+		if bits.OnesCount(uint(s))%2 == 1 {
+			total += p
+		} else {
+			total -= p
+		}
+	}
+	return mathx.Clamp01(total)
+}
+
+// hostEnumeration sums the probability of every host-compromise
+// combination in which at least one path is fully compromised.
+func hostEnumeration(pathMask []uint64, hostProb []float64) float64 {
+	h := len(hostProb)
+	total := 0.0
+	for mask := uint64(0); mask < 1<<uint(h); mask++ {
+		ok := false
+		for _, pm := range pathMask {
+			if pm&mask == pm {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		p := 1.0
+		for i := 0; i < h; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				p *= hostProb[i]
+			} else {
+				p *= 1 - hostProb[i]
+			}
+		}
+		total += p
+	}
+	return mathx.Clamp01(total)
+}

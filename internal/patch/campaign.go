@@ -1,0 +1,126 @@
+package patch
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"redpatch/internal/vulndb"
+)
+
+// Campaign splits a server's selected patches over several maintenance
+// rounds — the paper's §III "more complex cases (e.g., monthly patch of 3
+// months)" future work. Operators rarely get a 60-minute window; a
+// campaign respects a per-round downtime budget and spreads the work
+// across successive patch intervals, most severe vulnerabilities first.
+type Campaign struct {
+	// Server names the server or role the campaign applies to.
+	Server string
+	// Rounds are the per-round plans in execution order.
+	Rounds []Plan
+	// Deferred lists selected vulnerabilities that cannot fit even in a
+	// dedicated round (their single patch time exceeds the budget).
+	Deferred []vulndb.Vulnerability
+}
+
+// TotalRounds returns the number of maintenance rounds.
+func (c Campaign) TotalRounds() int { return len(c.Rounds) }
+
+// TotalDowntime sums the downtime of every round.
+func (c Campaign) TotalDowntime() time.Duration {
+	var total time.Duration
+	for _, r := range c.Rounds {
+		total += r.TotalDowntime()
+	}
+	return total
+}
+
+// PlanCampaign distributes the policy-selected vulnerabilities of a
+// server over successive rounds so that no round's downtime (patches plus
+// the merged reboot overhead paid every round) exceeds maxWindow.
+// Vulnerabilities are assigned greedily in descending base-score order
+// (most severe patched earliest), first-fit onto the earliest round with
+// room. Vulnerabilities whose lone patch would already blow the budget
+// are reported in Deferred rather than silently dropped.
+func PlanCampaign(server string, vulns []vulndb.Vulnerability, pol Policy, sch Schedule, maxWindow time.Duration) (Campaign, error) {
+	if err := sch.Validate(); err != nil {
+		return Campaign{}, err
+	}
+	overhead := sch.OSReboot + sch.ServiceReboot
+	if maxWindow <= overhead {
+		return Campaign{}, fmt.Errorf("patch: window %v cannot cover the reboot overhead %v", maxWindow, overhead)
+	}
+
+	var selected []vulndb.Vulnerability
+	for _, v := range vulns {
+		if pol.Selects(v) {
+			selected = append(selected, v)
+		}
+	}
+	sort.SliceStable(selected, func(i, j int) bool {
+		si, sj := selected[i].BaseScore(), selected[j].BaseScore()
+		if si != sj {
+			return si > sj
+		}
+		return selected[i].ID < selected[j].ID
+	})
+
+	patchTime := func(v vulndb.Vulnerability) time.Duration {
+		if v.Component == vulndb.ComponentOS {
+			return sch.PerOSVuln
+		}
+		return sch.PerServiceVuln
+	}
+
+	camp := Campaign{Server: server}
+	var roundVulns [][]vulndb.Vulnerability
+	var roundBudget []time.Duration
+	for _, v := range selected {
+		need := patchTime(v)
+		if need+overhead > maxWindow {
+			camp.Deferred = append(camp.Deferred, v)
+			continue
+		}
+		placed := false
+		for i := range roundVulns {
+			if roundBudget[i]+need+overhead <= maxWindow {
+				roundVulns[i] = append(roundVulns[i], v)
+				roundBudget[i] += need
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			roundVulns = append(roundVulns, []vulndb.Vulnerability{v})
+			roundBudget = append(roundBudget, need)
+		}
+	}
+	for i, rv := range roundVulns {
+		plan, err := Compute(fmt.Sprintf("%s-round-%d", server, i+1), rv, Policy{PatchAll: true}, sch)
+		if err != nil {
+			return Campaign{}, err
+		}
+		camp.Rounds = append(camp.Rounds, plan)
+	}
+	return camp, nil
+}
+
+// ResidualAfterRound returns the vulnerabilities still unpatched after
+// the given number of completed rounds (0 = nothing patched yet),
+// including any deferred ones. Security models re-evaluate against this
+// residual set to trace how the attack surface shrinks over the campaign.
+func (c Campaign) ResidualAfterRound(completed int, all []vulndb.Vulnerability) []vulndb.Vulnerability {
+	patched := make(map[string]bool)
+	for i := 0; i < completed && i < len(c.Rounds); i++ {
+		for _, v := range c.Rounds[i].Selected {
+			patched[v.ID] = true
+		}
+	}
+	var out []vulndb.Vulnerability
+	for _, v := range all {
+		if !patched[v.ID] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

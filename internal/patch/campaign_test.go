@@ -1,0 +1,145 @@
+package patch
+
+import (
+	"testing"
+	"time"
+
+	"redpatch/internal/vulndb"
+)
+
+// appServerVulns builds the application server's six criticals (3 service
+// at 5 min, 3 OS at 10 min — a 60-minute single-round window).
+func appServerVulns() []vulndb.Vulnerability {
+	full := "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+	var out []vulndb.Vulnerability
+	for i := 0; i < 3; i++ {
+		out = append(out, vuln("CVE-S"+string(rune('0'+i)), vulndb.ComponentService, full))
+		out = append(out, vuln("CVE-O"+string(rune('0'+i)), vulndb.ComponentOS, full))
+	}
+	return out
+}
+
+func TestPlanCampaignSingleRound(t *testing.T) {
+	// A 60-minute budget fits everything in one round, equal to Compute.
+	camp, err := PlanCampaign("app", appServerVulns(), CriticalPolicy(), MonthlySchedule(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.TotalRounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", camp.TotalRounds())
+	}
+	if got := camp.TotalDowntime(); got != 60*time.Minute {
+		t.Errorf("TotalDowntime = %v, want 60m", got)
+	}
+	if len(camp.Deferred) != 0 {
+		t.Errorf("Deferred = %v, want none", camp.Deferred)
+	}
+}
+
+func TestPlanCampaignSplitsRounds(t *testing.T) {
+	// A 35-minute budget (15 min reboot overhead per round) forces a
+	// split: each round carries at most 20 minutes of patching.
+	camp, err := PlanCampaign("app", appServerVulns(), CriticalPolicy(), MonthlySchedule(), 35*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.TotalRounds() < 2 {
+		t.Fatalf("rounds = %d, want at least 2", camp.TotalRounds())
+	}
+	for i, r := range camp.Rounds {
+		if got := r.TotalDowntime(); got > 35*time.Minute {
+			t.Errorf("round %d downtime %v exceeds the 35m window", i+1, got)
+		}
+	}
+	// Every selected vulnerability lands in exactly one round.
+	seen := make(map[string]int)
+	total := 0
+	for _, r := range camp.Rounds {
+		for _, v := range r.Selected {
+			seen[v.ID]++
+			total++
+		}
+	}
+	if total != 6 {
+		t.Errorf("patched %d vulnerabilities, want 6", total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("%s patched %d times", id, n)
+		}
+	}
+	// The campaign pays the reboot overhead per round, so the total
+	// downtime exceeds the single-round 60 minutes.
+	if camp.TotalDowntime() <= 60*time.Minute {
+		t.Errorf("split campaign downtime = %v, should exceed 60m", camp.TotalDowntime())
+	}
+}
+
+func TestPlanCampaignSeverityOrder(t *testing.T) {
+	// Mixed severities: the critical (base 10.0) must land in round 1,
+	// ahead of lower scores, when the policy selects everything.
+	vulns := []vulndb.Vulnerability{
+		vuln("CVE-LOW", vulndb.ComponentService, "AV:N/AC:M/Au:N/C:P/I:N/A:N"),  // 4.3
+		vuln("CVE-CRIT", vulndb.ComponentService, "AV:N/AC:L/Au:N/C:C/I:C/A:C"), // 10.0
+		vuln("CVE-MID", vulndb.ComponentService, "AV:N/AC:L/Au:N/C:P/I:P/A:P"),  // 7.5
+	}
+	camp, err := PlanCampaign("x", vulns, Policy{PatchAll: true}, MonthlySchedule(), 20*time.Minute+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Rounds) == 0 || len(camp.Rounds[0].Selected) == 0 {
+		t.Fatal("no rounds planned")
+	}
+	if camp.Rounds[0].Selected[0].ID != "CVE-CRIT" {
+		t.Errorf("round 1 starts with %s, want CVE-CRIT", camp.Rounds[0].Selected[0].ID)
+	}
+}
+
+func TestPlanCampaignDefersOversized(t *testing.T) {
+	// With a 16-minute window (15 min overhead), a 10-minute OS patch can
+	// never fit; it must be deferred, while 5-minute service patches fit
+	// one per round... actually 1 min of budget fits nothing: all
+	// deferred.
+	vulns := appServerVulns()
+	camp, err := PlanCampaign("app", vulns, CriticalPolicy(), MonthlySchedule(), 16*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Deferred) != 6 {
+		t.Errorf("Deferred = %d, want all 6 (nothing fits a 1m patch budget)", len(camp.Deferred))
+	}
+	if camp.TotalRounds() != 0 {
+		t.Errorf("rounds = %d, want 0", camp.TotalRounds())
+	}
+}
+
+func TestPlanCampaignWindowValidation(t *testing.T) {
+	if _, err := PlanCampaign("x", nil, CriticalPolicy(), MonthlySchedule(), 10*time.Minute); err == nil {
+		t.Error("window below the reboot overhead should fail")
+	}
+	if _, err := PlanCampaign("x", nil, CriticalPolicy(), Schedule{}, time.Hour); err == nil {
+		t.Error("invalid schedule should fail")
+	}
+}
+
+func TestResidualAfterRound(t *testing.T) {
+	vulns := appServerVulns()
+	camp, err := PlanCampaign("app", vulns, CriticalPolicy(), MonthlySchedule(), 35*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := camp.ResidualAfterRound(0, vulns); len(got) != 6 {
+		t.Errorf("residual before any round = %d, want 6", len(got))
+	}
+	afterFirst := camp.ResidualAfterRound(1, vulns)
+	if len(afterFirst) != 6-len(camp.Rounds[0].Selected) {
+		t.Errorf("residual after round 1 = %d, want %d", len(afterFirst), 6-len(camp.Rounds[0].Selected))
+	}
+	if got := camp.ResidualAfterRound(camp.TotalRounds(), vulns); len(got) != 0 {
+		t.Errorf("residual after all rounds = %v, want none", got)
+	}
+	// Asking beyond the last round is harmless.
+	if got := camp.ResidualAfterRound(99, vulns); len(got) != 0 {
+		t.Errorf("residual after round 99 = %v, want none", got)
+	}
+}

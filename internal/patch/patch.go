@@ -1,0 +1,138 @@
+// Package patch models the patch-management inputs of the paper: which
+// vulnerabilities a policy selects for patching, on what schedule patches
+// are applied, and how long a server's patch window lasts. The paper's
+// policy patches "critical" vulnerabilities (CVSS base score above 8.0) on
+// a monthly cadence, with application patches applied first, OS patches
+// immediately after, and a single merged reboot at the end.
+package patch
+
+import (
+	"fmt"
+	"time"
+
+	"redpatch/internal/vulndb"
+)
+
+// Policy decides which vulnerabilities get patched.
+type Policy struct {
+	// CriticalThreshold selects vulnerabilities whose CVSS v2 base score
+	// strictly exceeds this value (the paper uses 8.0).
+	CriticalThreshold float64
+	// PatchAll selects every vulnerability regardless of score.
+	PatchAll bool
+}
+
+// CriticalPolicy returns the paper's policy: patch vulnerabilities with
+// base score above 8.0.
+func CriticalPolicy() Policy { return Policy{CriticalThreshold: 8.0} }
+
+// Selects reports whether the policy patches the given vulnerability.
+func (p Policy) Selects(v vulndb.Vulnerability) bool {
+	if p.PatchAll {
+		return true
+	}
+	return v.IsCritical(p.CriticalThreshold)
+}
+
+// Schedule carries the timing constants of the patch process.
+type Schedule struct {
+	// Interval is the time between patch rounds (the paper patches
+	// monthly: 720 hours).
+	Interval time.Duration
+	// PerServiceVuln is the patch time per application vulnerability
+	// (paper: 5 minutes).
+	PerServiceVuln time.Duration
+	// PerOSVuln is the patch time per OS vulnerability (paper: 10
+	// minutes).
+	PerOSVuln time.Duration
+	// OSReboot is the OS reboot time after patching (paper: 10 minutes).
+	OSReboot time.Duration
+	// ServiceReboot is the service restart time after the OS is back
+	// (paper: 5 minutes).
+	ServiceReboot time.Duration
+}
+
+// MonthlySchedule returns the paper's Table IV schedule.
+func MonthlySchedule() Schedule {
+	return Schedule{
+		Interval:       720 * time.Hour,
+		PerServiceVuln: 5 * time.Minute,
+		PerOSVuln:      10 * time.Minute,
+		OSReboot:       10 * time.Minute,
+		ServiceReboot:  5 * time.Minute,
+	}
+}
+
+// Validate checks the schedule for positive interval and non-negative
+// durations.
+func (s Schedule) Validate() error {
+	if s.Interval <= 0 {
+		return fmt.Errorf("patch: non-positive interval %v", s.Interval)
+	}
+	for _, d := range []time.Duration{s.PerServiceVuln, s.PerOSVuln, s.OSReboot, s.ServiceReboot} {
+		if d < 0 {
+			return fmt.Errorf("patch: negative duration in schedule")
+		}
+	}
+	return nil
+}
+
+// Plan is the computed patch work for one server in one round.
+type Plan struct {
+	// Server names the server or server type the plan applies to.
+	Server string
+	// Selected are the vulnerabilities the policy patches this round.
+	Selected []vulndb.Vulnerability
+	// OSCount and ServiceCount split Selected by component.
+	OSCount, ServiceCount int
+	// ServicePatchTime and OSPatchTime are the per-layer patch windows.
+	ServicePatchTime, OSPatchTime time.Duration
+	// OSReboot and ServiceReboot are copied from the schedule for
+	// downstream model builders.
+	OSReboot, ServiceReboot time.Duration
+	// Interval is the patch cadence, copied from the schedule.
+	Interval time.Duration
+}
+
+// Compute derives the plan for a server from its vulnerability list under
+// the given policy and schedule.
+func Compute(server string, vulns []vulndb.Vulnerability, pol Policy, sch Schedule) (Plan, error) {
+	if err := sch.Validate(); err != nil {
+		return Plan{}, err
+	}
+	plan := Plan{
+		Server:        server,
+		OSReboot:      sch.OSReboot,
+		ServiceReboot: sch.ServiceReboot,
+		Interval:      sch.Interval,
+	}
+	for _, v := range vulns {
+		if !pol.Selects(v) {
+			continue
+		}
+		plan.Selected = append(plan.Selected, v)
+		switch v.Component {
+		case vulndb.ComponentOS:
+			plan.OSCount++
+		case vulndb.ComponentService:
+			plan.ServiceCount++
+		}
+	}
+	plan.ServicePatchTime = time.Duration(plan.ServiceCount) * sch.PerServiceVuln
+	plan.OSPatchTime = time.Duration(plan.OSCount) * sch.PerOSVuln
+	return plan, nil
+}
+
+// RequiresPatch reports whether the plan patches anything at all. A server
+// with nothing selected skips the round entirely (no downtime).
+func (p Plan) RequiresPatch() bool { return len(p.Selected) > 0 }
+
+// TotalDowntime is the expected service outage of one patch round:
+// service patch + OS patch + OS reboot + service restart (the paper's
+// patch pipeline, reboots merged at the end).
+func (p Plan) TotalDowntime() time.Duration {
+	if !p.RequiresPatch() {
+		return 0
+	}
+	return p.ServicePatchTime + p.OSPatchTime + p.OSReboot + p.ServiceReboot
+}

@@ -1,0 +1,151 @@
+package patch
+
+import (
+	"testing"
+	"time"
+
+	"redpatch/internal/cvss"
+	"redpatch/internal/vulndb"
+)
+
+func vuln(id string, component vulndb.Component, vector string) vulndb.Vulnerability {
+	return vulndb.Vulnerability{
+		ID:        id,
+		Product:   "p",
+		Component: component,
+		Vector:    cvss.MustParse(vector),
+	}
+}
+
+func TestPolicySelects(t *testing.T) {
+	critical := vuln("CVE-1", vulndb.ComponentOS, "AV:N/AC:L/Au:N/C:C/I:C/A:C") // 10.0
+	moderate := vuln("CVE-2", vulndb.ComponentOS, "AV:L/AC:L/Au:N/C:C/I:C/A:C") // 7.2
+	low := vuln("CVE-3", vulndb.ComponentService, "AV:N/AC:M/Au:N/C:P/I:N/A:N") // 4.3
+
+	pol := CriticalPolicy()
+	if !pol.Selects(critical) {
+		t.Error("base 10.0 should be selected at threshold 8.0")
+	}
+	if pol.Selects(moderate) || pol.Selects(low) {
+		t.Error("non-critical vulnerabilities must not be selected")
+	}
+	all := Policy{PatchAll: true}
+	if !all.Selects(low) {
+		t.Error("PatchAll should select everything")
+	}
+}
+
+func TestMonthlySchedule(t *testing.T) {
+	s := MonthlySchedule()
+	if s.Interval != 720*time.Hour {
+		t.Errorf("Interval = %v, want 720h", s.Interval)
+	}
+	if s.PerServiceVuln != 5*time.Minute || s.PerOSVuln != 10*time.Minute {
+		t.Error("per-vulnerability durations wrong")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	s := MonthlySchedule()
+	s.Interval = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero interval should fail")
+	}
+	s = MonthlySchedule()
+	s.OSReboot = -time.Minute
+	if err := s.Validate(); err == nil {
+		t.Error("negative duration should fail")
+	}
+}
+
+// TestComputeDNSPlan reproduces the paper's DNS server: one critical
+// service vulnerability and two critical OS vulnerabilities yield a 5 min
+// service patch, a 20 min OS patch and a 40 min total outage (Table IV /
+// Table V MTTR 0.6667 h).
+func TestComputeDNSPlan(t *testing.T) {
+	vulns := []vulndb.Vulnerability{
+		vuln("CVE-DNS", vulndb.ComponentService, "AV:N/AC:L/Au:N/C:C/I:C/A:C"),
+		vuln("CVE-WIN1", vulndb.ComponentOS, "AV:N/AC:M/Au:N/C:C/I:C/A:C"),
+		vuln("CVE-WIN2", vulndb.ComponentOS, "AV:N/AC:M/Au:N/C:C/I:C/A:C"),
+		vuln("CVE-MEH", vulndb.ComponentService, "AV:N/AC:M/Au:N/C:P/I:N/A:N"), // not critical
+	}
+	plan, err := Compute("dns", vulns, CriticalPolicy(), MonthlySchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ServiceCount != 1 || plan.OSCount != 2 {
+		t.Errorf("counts = (%d service, %d os), want (1, 2)", plan.ServiceCount, plan.OSCount)
+	}
+	if plan.ServicePatchTime != 5*time.Minute {
+		t.Errorf("ServicePatchTime = %v, want 5m", plan.ServicePatchTime)
+	}
+	if plan.OSPatchTime != 20*time.Minute {
+		t.Errorf("OSPatchTime = %v, want 20m", plan.OSPatchTime)
+	}
+	if got := plan.TotalDowntime(); got != 40*time.Minute {
+		t.Errorf("TotalDowntime = %v, want 40m", got)
+	}
+	if !plan.RequiresPatch() {
+		t.Error("plan with selections should require patch")
+	}
+}
+
+func TestComputeEmptyPlan(t *testing.T) {
+	vulns := []vulndb.Vulnerability{
+		vuln("CVE-MEH", vulndb.ComponentService, "AV:N/AC:M/Au:N/C:P/I:N/A:N"),
+	}
+	plan, err := Compute("clean", vulns, CriticalPolicy(), MonthlySchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.RequiresPatch() {
+		t.Error("plan without selections should not require patch")
+	}
+	if plan.TotalDowntime() != 0 {
+		t.Errorf("TotalDowntime = %v, want 0", plan.TotalDowntime())
+	}
+}
+
+func TestComputeRejectsBadSchedule(t *testing.T) {
+	if _, err := Compute("x", nil, CriticalPolicy(), Schedule{}); err == nil {
+		t.Error("invalid schedule should fail")
+	}
+}
+
+// TestPaperServerDowntimes pins the four server types' patch windows that
+// drive the paper's Table V MTTR column.
+func TestPaperServerDowntimes(t *testing.T) {
+	full := "AV:N/AC:L/Au:N/C:C/I:C/A:C"
+	tests := []struct {
+		name         string
+		nService     int
+		nOS          int
+		wantDowntime time.Duration
+	}{
+		{name: "dns", nService: 1, nOS: 2, wantDowntime: 40 * time.Minute},
+		{name: "web", nService: 2, nOS: 1, wantDowntime: 35 * time.Minute},
+		{name: "app", nService: 3, nOS: 3, wantDowntime: 60 * time.Minute},
+		{name: "db", nService: 2, nOS: 3, wantDowntime: 55 * time.Minute},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var vulns []vulndb.Vulnerability
+			for i := 0; i < tt.nService; i++ {
+				vulns = append(vulns, vuln("CVE-S"+string(rune('0'+i)), vulndb.ComponentService, full))
+			}
+			for i := 0; i < tt.nOS; i++ {
+				vulns = append(vulns, vuln("CVE-O"+string(rune('0'+i)), vulndb.ComponentOS, full))
+			}
+			plan, err := Compute(tt.name, vulns, CriticalPolicy(), MonthlySchedule())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := plan.TotalDowntime(); got != tt.wantDowntime {
+				t.Errorf("TotalDowntime = %v, want %v", got, tt.wantDowntime)
+			}
+		})
+	}
+}

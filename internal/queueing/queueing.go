@@ -1,0 +1,180 @@
+// Package queueing implements the M/M/c queueing model the paper lists as
+// its user-oriented-performance extension (§V): mean response and waiting
+// times of a server tier under client load, including the degraded-capacity
+// states a patch round induces. The Erlang-C machinery is standard; the
+// patch-aware helper weights per-capacity response times by the tier's
+// steady-state capacity distribution.
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"redpatch/internal/mathx"
+)
+
+// MMc is an M/M/c queue: Poisson arrivals at rate Lambda, exponential
+// service at rate Mu per server, C identical servers, infinite buffer.
+type MMc struct {
+	Lambda float64 // arrival rate (requests per hour)
+	Mu     float64 // per-server service rate (requests per hour)
+	C      int     // number of servers
+}
+
+// Validate checks parameter sanity (stability is checked separately).
+func (q MMc) Validate() error {
+	if q.Lambda <= 0 || math.IsNaN(q.Lambda) || math.IsInf(q.Lambda, 0) {
+		return fmt.Errorf("queueing: invalid arrival rate %v", q.Lambda)
+	}
+	if q.Mu <= 0 || math.IsNaN(q.Mu) || math.IsInf(q.Mu, 0) {
+		return fmt.Errorf("queueing: invalid service rate %v", q.Mu)
+	}
+	if q.C < 1 {
+		return fmt.Errorf("queueing: need at least one server, have %d", q.C)
+	}
+	return nil
+}
+
+// Utilization returns rho = lambda / (c * mu).
+func (q MMc) Utilization() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// Stable reports whether the queue is stable (rho < 1).
+func (q MMc) Stable() bool { return q.Utilization() < 1 }
+
+// ErlangC returns the probability an arriving request has to wait
+// (the Erlang-C formula). The queue must be valid and stable.
+func (q MMc) ErlangC() (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 0, fmt.Errorf("queueing: unstable queue (rho = %v)", q.Utilization())
+	}
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	c := q.C
+	// Compute the Erlang-C probability with a numerically stable
+	// iterative form of the factorial sums.
+	sum := 0.0
+	term := 1.0 // a^k / k! at k = 0
+	for k := 0; k < c; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	// term now holds a^c / c!.
+	last := term / (1 - q.Utilization())
+	return mathx.Clamp01(last / (sum + last)), nil
+}
+
+// MeanWaitingTime returns Wq, the mean time spent queued before service.
+func (q MMc) MeanWaitingTime() (float64, error) {
+	pc, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	return pc / (float64(q.C)*q.Mu - q.Lambda), nil
+}
+
+// MeanResponseTime returns W = Wq + 1/mu.
+func (q MMc) MeanResponseTime() (float64, error) {
+	wq, err := q.MeanWaitingTime()
+	if err != nil {
+		return 0, err
+	}
+	return wq + 1/q.Mu, nil
+}
+
+// MeanQueueLength returns Lq = lambda * Wq (Little's law).
+func (q MMc) MeanQueueLength() (float64, error) {
+	wq, err := q.MeanWaitingTime()
+	if err != nil {
+		return 0, err
+	}
+	return q.Lambda * wq, nil
+}
+
+// CapacityDistribution is the steady-state probability of each up-server
+// count of a tier, indexed 0..N. internal/availability produces it from
+// the aggregated patch/recovery rates (binomial under per-server
+// semantics).
+type CapacityDistribution []float64
+
+// BinomialCapacity returns the capacity distribution of n independent
+// servers each up with probability a.
+func BinomialCapacity(n int, a float64) CapacityDistribution {
+	out := make(CapacityDistribution, n+1)
+	for k := 0; k <= n; k++ {
+		out[k] = mathx.Binomial(n, k) * math.Pow(a, float64(k)) * math.Pow(1-a, float64(n-k))
+	}
+	return out
+}
+
+// Validate checks the distribution sums to one.
+func (d CapacityDistribution) Validate() error {
+	if len(d) == 0 {
+		return fmt.Errorf("queueing: empty capacity distribution")
+	}
+	sum := 0.0
+	for _, p := range d {
+		if p < 0 {
+			return fmt.Errorf("queueing: negative probability in capacity distribution")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("queueing: capacity distribution sums to %v, want 1", sum)
+	}
+	return nil
+}
+
+// PatchAwareResponse is the user-oriented performance result of a tier
+// under a patch schedule.
+type PatchAwareResponse struct {
+	// MeanResponseTime is E[W | some capacity is up and the state is
+	// stable], in hours.
+	MeanResponseTime float64
+	// UnstableProbability is the probability mass of capacity states
+	// where the offered load exceeds the remaining capacity (requests
+	// pile up without bound).
+	UnstableProbability float64
+	// DownProbability is the probability that no server is up.
+	DownProbability float64
+}
+
+// ResponseUnderPatch weights M/M/k response times by the capacity
+// distribution of a tier: state k has k servers up and behaves as M/M/k.
+// States with zero capacity or an unstable queue are excluded from the
+// conditional mean and reported separately.
+func ResponseUnderPatch(lambda, mu float64, capacity CapacityDistribution) (PatchAwareResponse, error) {
+	if err := capacity.Validate(); err != nil {
+		return PatchAwareResponse{}, err
+	}
+	var out PatchAwareResponse
+	var weighted, mass float64
+	for k, p := range capacity {
+		if p == 0 {
+			continue
+		}
+		if k == 0 {
+			out.DownProbability += p
+			continue
+		}
+		q := MMc{Lambda: lambda, Mu: mu, C: k}
+		if err := q.Validate(); err != nil {
+			return PatchAwareResponse{}, err
+		}
+		if !q.Stable() {
+			out.UnstableProbability += p
+			continue
+		}
+		w, err := q.MeanResponseTime()
+		if err != nil {
+			return PatchAwareResponse{}, err
+		}
+		weighted += p * w
+		mass += p
+	}
+	if mass > 0 {
+		out.MeanResponseTime = weighted / mass
+	}
+	return out, nil
+}

@@ -1,0 +1,204 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redpatch/internal/mathx"
+)
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		q       MMc
+		wantErr bool
+	}{
+		{name: "ok", q: MMc{Lambda: 10, Mu: 4, C: 3}, wantErr: false},
+		{name: "zeroLambda", q: MMc{Mu: 4, C: 3}, wantErr: true},
+		{name: "zeroMu", q: MMc{Lambda: 1, C: 3}, wantErr: true},
+		{name: "zeroServers", q: MMc{Lambda: 1, Mu: 1}, wantErr: true},
+		{name: "nan", q: MMc{Lambda: math.NaN(), Mu: 1, C: 1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.q.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestMM1ClosedForm: for c = 1 the Erlang-C probability equals rho and
+// W = 1/(mu - lambda).
+func TestMM1ClosedForm(t *testing.T) {
+	q := MMc{Lambda: 3, Mu: 5, C: 1}
+	pc, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(pc, 0.6, 1e-12) {
+		t.Errorf("ErlangC = %v, want rho = 0.6", pc)
+	}
+	w, err := q.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(w, 1.0/(5-3), 1e-12) {
+		t.Errorf("W = %v, want 0.5", w)
+	}
+	lq, err := q.MeanQueueLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lq = rho^2/(1-rho) = 0.36/0.4 = 0.9.
+	if !mathx.AlmostEqual(lq, 0.9, 1e-12) {
+		t.Errorf("Lq = %v, want 0.9", lq)
+	}
+}
+
+// TestMM2KnownValue pins an M/M/2 Erlang-C value computed by hand:
+// lambda=3, mu=2, a=1.5, rho=0.75 -> C = (a^2/2!)/(1-rho) /
+// (1 + a + (a^2/2!)/(1-rho)) = 4.5/7 = 0.642857...
+func TestMM2KnownValue(t *testing.T) {
+	q := MMc{Lambda: 3, Mu: 2, C: 2}
+	pc, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(pc, 4.5/7, 1e-12) {
+		t.Errorf("ErlangC = %v, want %v", pc, 4.5/7)
+	}
+}
+
+func TestUnstableQueue(t *testing.T) {
+	q := MMc{Lambda: 10, Mu: 4, C: 2}
+	if q.Stable() {
+		t.Error("rho = 1.25 should be unstable")
+	}
+	if _, err := q.ErlangC(); err == nil {
+		t.Error("ErlangC of unstable queue should fail")
+	}
+}
+
+// TestMoreServersReduceWaiting is a property: adding a server at fixed
+// load never increases the mean response time.
+func TestMoreServersReduceWaiting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 0.5 + rng.Float64()*5
+		c := 1 + rng.Intn(6)
+		lambda := 0.9 * float64(c) * mu * rng.Float64()
+		if lambda <= 0 {
+			return true
+		}
+		q1 := MMc{Lambda: lambda, Mu: mu, C: c}
+		q2 := MMc{Lambda: lambda, Mu: mu, C: c + 1}
+		w1, err1 := q1.MeanResponseTime()
+		w2, err2 := q2.MeanResponseTime()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return w2 <= w1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErlangCInUnitInterval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mu := 0.5 + rng.Float64()*5
+		c := 1 + rng.Intn(10)
+		lambda := 0.99 * float64(c) * mu * rng.Float64()
+		if lambda <= 0 {
+			return true
+		}
+		pc, err := MMc{Lambda: lambda, Mu: mu, C: c}.ErlangC()
+		return err == nil && pc >= 0 && pc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialCapacity(t *testing.T) {
+	d := BinomialCapacity(2, 0.9)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(d[2], 0.81, 1e-12) || !mathx.AlmostEqual(d[1], 0.18, 1e-12) || !mathx.AlmostEqual(d[0], 0.01, 1e-12) {
+		t.Errorf("BinomialCapacity(2, 0.9) = %v", d)
+	}
+}
+
+func TestCapacityDistributionValidate(t *testing.T) {
+	if err := (CapacityDistribution{}).Validate(); err == nil {
+		t.Error("empty distribution should fail")
+	}
+	if err := (CapacityDistribution{0.5, 0.4}).Validate(); err == nil {
+		t.Error("non-normalized distribution should fail")
+	}
+	if err := (CapacityDistribution{-0.1, 1.1}).Validate(); err == nil {
+		t.Error("negative probability should fail")
+	}
+}
+
+func TestResponseUnderPatch(t *testing.T) {
+	// Two servers, each up with probability 0.99; load fits one server.
+	capacity := BinomialCapacity(2, 0.99)
+	resp, err := ResponseUnderPatch(3, 5, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.UnstableProbability != 0 {
+		t.Errorf("no state should be unstable, got %v", resp.UnstableProbability)
+	}
+	if !mathx.AlmostEqual(resp.DownProbability, 0.0001, 1e-12) {
+		t.Errorf("DownProbability = %v, want 0.0001", resp.DownProbability)
+	}
+	// The conditional mean lies between the M/M/2 and M/M/1 times.
+	w2, err := MMc{Lambda: 3, Mu: 5, C: 2}.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := MMc{Lambda: 3, Mu: 5, C: 1}.MeanResponseTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.MeanResponseTime < w2 || resp.MeanResponseTime > w1 {
+		t.Errorf("mean response %v outside [%v, %v]", resp.MeanResponseTime, w2, w1)
+	}
+}
+
+func TestResponseUnderPatchUnstableStates(t *testing.T) {
+	// Load needs two servers: the one-server state is unstable.
+	capacity := BinomialCapacity(2, 0.9)
+	resp, err := ResponseUnderPatch(7, 5, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(resp.UnstableProbability, 0.18, 1e-12) {
+		t.Errorf("UnstableProbability = %v, want 0.18 (the one-up state)", resp.UnstableProbability)
+	}
+}
+
+// TestPatchImpactOnResponse documents the extension's headline: a slower
+// patch (lower per-server availability) worsens user-visible response
+// time via capacity loss.
+func TestPatchImpactOnResponse(t *testing.T) {
+	fast, err := ResponseUnderPatch(4, 5, BinomialCapacity(2, 0.999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ResponseUnderPatch(4, 5, BinomialCapacity(2, 0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MeanResponseTime <= fast.MeanResponseTime {
+		t.Errorf("lower availability should worsen response: %v vs %v",
+			slow.MeanResponseTime, fast.MeanResponseTime)
+	}
+}

@@ -1,0 +1,343 @@
+// Package redundancy evaluates server-redundancy design choices on both
+// axes of the paper — security (HARM metrics before and after patch) and
+// capacity oriented availability (aggregated SRN model) — and implements
+// the administrator decision functions of Eq. 3 (two-metric bounds) and
+// Eq. 4 (multi-metric bounds), a Pareto-front analysis, and the
+// operational-cost extension sketched in the paper's §V.
+package redundancy
+
+import (
+	"fmt"
+	"sort"
+
+	"redpatch/internal/attacktree"
+	"redpatch/internal/availability"
+	"redpatch/internal/harm"
+	"redpatch/internal/paperdata"
+	"redpatch/internal/patch"
+	"redpatch/internal/vulndb"
+)
+
+// Evaluator evaluates redundancy designs for one case study: a
+// vulnerability dataset, per-role attack trees, a patch policy and
+// schedule, and the HARM evaluation options. Lower-layer availability
+// models are solved once per role and cached.
+type Evaluator struct {
+	db       *vulndb.DB
+	trees    map[string]*attacktree.Tree
+	policy   patch.Policy
+	schedule patch.Schedule
+	evalOpts harm.EvalOptions
+
+	agg   map[string]availability.AggregatedRates
+	plans map[string]patch.Plan
+}
+
+// Options configures an Evaluator. Zero-value fields select the paper's
+// defaults.
+type Options struct {
+	// DB defaults to the paper dataset.
+	DB *vulndb.DB
+	// Trees defaults to the paper's Fig. 3 templates.
+	Trees map[string]*attacktree.Tree
+	// Policy defaults to the critical policy (base score > 8.0).
+	Policy *patch.Policy
+	// Schedule defaults to the monthly schedule.
+	Schedule *patch.Schedule
+	// Eval defaults to ASPCompromise with noisy-OR tree combination, the
+	// configuration closest to the paper's published ASP values (see
+	// DESIGN.md §3).
+	Eval *harm.EvalOptions
+}
+
+// NewEvaluator builds an evaluator and solves the per-role availability
+// models.
+func NewEvaluator(opts Options) (*Evaluator, error) {
+	e := &Evaluator{
+		db:       opts.DB,
+		trees:    opts.Trees,
+		policy:   patch.CriticalPolicy(),
+		schedule: patch.MonthlySchedule(),
+		evalOpts: harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy},
+		agg:      make(map[string]availability.AggregatedRates),
+		plans:    make(map[string]patch.Plan),
+	}
+	if e.db == nil {
+		e.db = paperdata.VulnDB()
+	}
+	if e.trees == nil {
+		e.trees = paperdata.Trees(e.db)
+	}
+	if opts.Policy != nil {
+		e.policy = *opts.Policy
+	}
+	if opts.Schedule != nil {
+		e.schedule = *opts.Schedule
+	}
+	if opts.Eval != nil {
+		e.evalOpts = *opts.Eval
+	}
+
+	for _, role := range paperdata.Roles() {
+		params, plan, err := paperdata.ServerParams(e.db, role, e.policy, e.schedule)
+		if err != nil {
+			return nil, err
+		}
+		e.plans[role] = plan
+		if !plan.RequiresPatch() {
+			e.agg[role] = availability.AggregatedRates{} // tier never patches
+			continue
+		}
+		sol, err := availability.SolveServer(params)
+		if err != nil {
+			return nil, err
+		}
+		agg, err := availability.Aggregate(sol)
+		if err != nil {
+			return nil, err
+		}
+		e.agg[role] = agg
+	}
+	return e, nil
+}
+
+// AggregatedRates exposes the cached per-role rates (Table V).
+func (e *Evaluator) AggregatedRates() map[string]availability.AggregatedRates {
+	out := make(map[string]availability.AggregatedRates, len(e.agg))
+	for k, v := range e.agg {
+		out[k] = v
+	}
+	return out
+}
+
+// Plans exposes the per-role patch plans.
+func (e *Evaluator) Plans() map[string]patch.Plan {
+	out := make(map[string]patch.Plan, len(e.plans))
+	for k, v := range e.plans {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is the full evaluation of one design.
+type Result struct {
+	Design paperdata.Design
+	// Before and After hold the security metrics on either side of the
+	// patch round.
+	Before, After harm.Metrics
+	// COA is the capacity oriented availability under the patch schedule.
+	COA float64
+	// ServiceAvailability is P(at least one server up in every tier).
+	ServiceAvailability float64
+}
+
+// Evaluate runs both models for one design.
+func (e *Evaluator) Evaluate(d paperdata.Design) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	top, err := paperdata.Topology(d)
+	if err != nil {
+		return Result{}, err
+	}
+	h, err := harm.Build(harm.BuildInput{
+		Topology:    top,
+		Trees:       e.trees,
+		TargetRoles: []string{paperdata.RoleDB},
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Design: d}
+	if res.Before, err = h.Evaluate(e.evalOpts); err != nil {
+		return Result{}, err
+	}
+	patched, err := h.Patched(func(role string, l *attacktree.Leaf) bool {
+		v, ok := e.db.ByID(l.Ref)
+		if !ok {
+			return true // unknown leaves cannot be patched away
+		}
+		return !e.policy.Selects(v)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if res.After, err = patched.Evaluate(e.evalOpts); err != nil {
+		return Result{}, err
+	}
+
+	var nm availability.NetworkModel
+	for _, role := range paperdata.Roles() {
+		agg := e.agg[role]
+		nm.Tiers = append(nm.Tiers, availability.Tier{
+			Name:     role,
+			N:        d.Counts()[role],
+			LambdaEq: agg.LambdaEq,
+			MuEq:     agg.MuEq,
+		})
+	}
+	sol, err := availability.SolveNetwork(nm)
+	if err != nil {
+		return Result{}, err
+	}
+	res.COA = sol.COA
+	res.ServiceAvailability = sol.ServiceAvailability
+	return res, nil
+}
+
+// EvaluateAll evaluates a list of designs in order.
+func (e *Evaluator) EvaluateAll(designs []paperdata.Design) ([]Result, error) {
+	out := make([]Result, 0, len(designs))
+	for _, d := range designs {
+		r, err := e.Evaluate(d)
+		if err != nil {
+			return nil, fmt.Errorf("redundancy: design %s: %w", d, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ScatterBounds are the administrator bounds of the paper's Eq. 3:
+// an upper bound phi on ASP and a lower bound psi on COA.
+type ScatterBounds struct {
+	MaxASP float64 // phi
+	MinCOA float64 // psi
+}
+
+// Satisfied implements Eq. 3 on the after-patch metrics: 1 iff
+// ASP <= phi and COA >= psi.
+func (b ScatterBounds) Satisfied(r Result) bool {
+	return r.After.ASP <= b.MaxASP && r.COA >= b.MinCOA
+}
+
+// MultiBounds are the administrator bounds of the paper's Eq. 4: upper
+// bounds on ASP, NoEV, NoAP and NoEP plus a lower bound on COA.
+type MultiBounds struct {
+	MaxASP  float64 // phi
+	MaxNoEV int     // xi
+	MaxNoAP int     // omega
+	MaxNoEP int     // kappa
+	MinCOA  float64 // psi
+}
+
+// Satisfied implements Eq. 4 on the after-patch metrics.
+func (b MultiBounds) Satisfied(r Result) bool {
+	return r.After.ASP <= b.MaxASP &&
+		r.After.NoEV <= b.MaxNoEV &&
+		r.After.NoAP <= b.MaxNoAP &&
+		r.After.NoEP <= b.MaxNoEP &&
+		r.COA >= b.MinCOA
+}
+
+// Bound is satisfied by both bounds types; filtering is generic over it.
+type Bound interface {
+	Satisfied(Result) bool
+}
+
+// Filter returns the results satisfying the bound, preserving order.
+func Filter(results []Result, b Bound) []Result {
+	var out []Result
+	for _, r := range results {
+		if b.Satisfied(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ParetoFront returns the designs not dominated on the
+// (minimize after-patch ASP, maximize COA) plane: r dominates s when
+// r.ASP <= s.ASP and r.COA >= s.COA with at least one strict. The result
+// is sorted by ascending ASP.
+func ParetoFront(results []Result) []Result {
+	var front []Result
+	for i, r := range results {
+		dominated := false
+		for j, s := range results {
+			if i == j {
+				continue
+			}
+			if s.After.ASP <= r.After.ASP && s.COA >= r.COA &&
+				(s.After.ASP < r.After.ASP || s.COA > r.COA) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].After.ASP != front[j].After.ASP {
+			return front[i].After.ASP < front[j].After.ASP
+		}
+		return front[i].COA > front[j].COA
+	})
+	return front
+}
+
+// CostModel monetizes a design per month, the economic extension the
+// paper lists in §V: fixed server cost, capacity-loss cost scaled by
+// (1 - COA), and expected breach loss scaled by the after-patch ASP.
+type CostModel struct {
+	// ServerPerMonth is the cost of operating one server for a month.
+	ServerPerMonth float64
+	// DowntimePerHour is the cost of one full-capacity-hour lost.
+	DowntimePerHour float64
+	// BreachLoss is the loss of a successful compromise, weighted by the
+	// after-patch attack success probability.
+	BreachLoss float64
+	// HoursPerMonth defaults to 720 when zero.
+	HoursPerMonth float64
+}
+
+// MonthlyCost evaluates the model for one design result.
+func (c CostModel) MonthlyCost(r Result) float64 {
+	hours := c.HoursPerMonth
+	if hours == 0 {
+		hours = 720
+	}
+	return c.ServerPerMonth*float64(r.Design.Total()) +
+		c.DowntimePerHour*(1-r.COA)*hours +
+		c.BreachLoss*r.After.ASP
+}
+
+// Cheapest returns the result with the lowest monthly cost (ties keep the
+// earlier result). It errors on an empty slice.
+func (c CostModel) Cheapest(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, fmt.Errorf("redundancy: no results to cost")
+	}
+	best := results[0]
+	bestCost := c.MonthlyCost(best)
+	for _, r := range results[1:] {
+		if cost := c.MonthlyCost(r); cost < bestCost {
+			best, bestCost = r, cost
+		}
+	}
+	return best, nil
+}
+
+// EnumerateDesigns yields every design with 1..maxPerTier servers per
+// tier, in lexicographic order — the larger design spaces of the paper's
+// §V "Systems" extension.
+func EnumerateDesigns(maxPerTier int) []paperdata.Design {
+	if maxPerTier < 1 {
+		return nil
+	}
+	var out []paperdata.Design
+	for dns := 1; dns <= maxPerTier; dns++ {
+		for web := 1; web <= maxPerTier; web++ {
+			for app := 1; app <= maxPerTier; app++ {
+				for db := 1; db <= maxPerTier; db++ {
+					out = append(out, paperdata.Design{
+						Name: fmt.Sprintf("%dd%dw%da%db", dns, web, app, db),
+						DNS:  dns, Web: web, App: app, DB: db,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package redundancy
+
+import (
+	"sync"
+	"testing"
+
+	"redpatch/internal/harm"
+	"redpatch/internal/mathx"
+	"redpatch/internal/paperdata"
+	"redpatch/internal/patch"
+)
+
+// The evaluator solves four server SRNs; share one across tests.
+var (
+	sharedEval     *Evaluator
+	sharedResults  []Result
+	sharedInitOnce sync.Once
+	sharedInitErr  error
+)
+
+func evaluator(t *testing.T) (*Evaluator, []Result) {
+	t.Helper()
+	sharedInitOnce.Do(func() {
+		sharedEval, sharedInitErr = NewEvaluator(Options{})
+		if sharedInitErr != nil {
+			return
+		}
+		sharedResults, sharedInitErr = sharedEval.EvaluateAll(paperdata.Designs())
+	})
+	if sharedInitErr != nil {
+		t.Fatal(sharedInitErr)
+	}
+	return sharedEval, sharedResults
+}
+
+func byName(t *testing.T, results []Result, name string) Result {
+	t.Helper()
+	for _, r := range results {
+		if r.Design.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("design %s not in results", name)
+	return Result{}
+}
+
+func TestFiveDesignResults(t *testing.T) {
+	_, results := evaluator(t)
+	if len(results) != 5 {
+		t.Fatalf("results = %d, want 5", len(results))
+	}
+	for _, r := range results {
+		// Before patch every design is maximally attackable (Fig. 6a).
+		if !mathx.AlmostEqual(r.Before.ASP, 1.0, 1e-9) {
+			t.Errorf("%s before ASP = %v, want 1.0", r.Design.Name, r.Before.ASP)
+		}
+		if !mathx.AlmostEqual(r.Before.AIM, 52.2, 1e-9) {
+			t.Errorf("%s before AIM = %v, want 52.2 (same longest path in every design)", r.Design.Name, r.Before.AIM)
+		}
+		if !mathx.AlmostEqual(r.After.AIM, 42.2, 1e-9) {
+			t.Errorf("%s after AIM = %v, want 42.2", r.Design.Name, r.After.AIM)
+		}
+		if r.After.ASP >= r.Before.ASP {
+			t.Errorf("%s patch must reduce ASP", r.Design.Name)
+		}
+	}
+}
+
+// TestFigure7MetricCounts pins the before/after NoEV, NoAP and NoEP of
+// every design (the radar-chart axes of Fig. 7).
+func TestFigure7MetricCounts(t *testing.T) {
+	_, results := evaluator(t)
+	tests := []struct {
+		name                               string
+		noEVBefore, noAPBefore, noEPBefore int
+		noEVAfter, noAPAfter, noEPAfter    int
+	}{
+		{name: "D1", noEVBefore: 16, noAPBefore: 2, noEPBefore: 2, noEVAfter: 7, noAPAfter: 1, noEPAfter: 1},
+		{name: "D2", noEVBefore: 17, noAPBefore: 3, noEPBefore: 3, noEVAfter: 7, noAPAfter: 1, noEPAfter: 1},
+		{name: "D3", noEVBefore: 21, noAPBefore: 4, noEPBefore: 3, noEVAfter: 9, noAPAfter: 2, noEPAfter: 2},
+		{name: "D4", noEVBefore: 21, noAPBefore: 4, noEPBefore: 2, noEVAfter: 9, noAPAfter: 2, noEPAfter: 1},
+		{name: "D5", noEVBefore: 21, noAPBefore: 4, noEPBefore: 2, noEVAfter: 10, noAPAfter: 2, noEPAfter: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := byName(t, results, tt.name)
+			if r.Before.NoEV != tt.noEVBefore || r.Before.NoAP != tt.noAPBefore || r.Before.NoEP != tt.noEPBefore {
+				t.Errorf("before = (NoEV %d, NoAP %d, NoEP %d), want (%d, %d, %d)",
+					r.Before.NoEV, r.Before.NoAP, r.Before.NoEP, tt.noEVBefore, tt.noAPBefore, tt.noEPBefore)
+			}
+			if r.After.NoEV != tt.noEVAfter || r.After.NoAP != tt.noAPAfter || r.After.NoEP != tt.noEPAfter {
+				t.Errorf("after = (NoEV %d, NoAP %d, NoEP %d), want (%d, %d, %d)",
+					r.After.NoEV, r.After.NoAP, r.After.NoEP, tt.noEVAfter, tt.noAPAfter, tt.noEPAfter)
+			}
+		})
+	}
+}
+
+// TestPaperObservations verifies the qualitative claims of §IV-A/B: D1
+// and D2 share their after-patch ASP (the patched DNS leaves the graph),
+// every other design has strictly higher ASP, and only D3 has more entry
+// points after patch.
+func TestPaperObservations(t *testing.T) {
+	_, results := evaluator(t)
+	d1 := byName(t, results, "D1")
+	d2 := byName(t, results, "D2")
+	if !mathx.AlmostEqual(d1.After.ASP, d2.After.ASP, 1e-12) {
+		t.Errorf("D1 and D2 after-patch ASP should match: %v vs %v", d1.After.ASP, d2.After.ASP)
+	}
+	for _, name := range []string{"D3", "D4", "D5"} {
+		r := byName(t, results, name)
+		if r.After.ASP <= d1.After.ASP {
+			t.Errorf("%s after ASP = %v should exceed D1's %v", name, r.After.ASP, d1.After.ASP)
+		}
+	}
+	for _, name := range []string{"D1", "D2", "D4", "D5"} {
+		if byName(t, results, name).After.NoEP != 1 {
+			t.Errorf("%s after NoEP should be 1", name)
+		}
+	}
+	if byName(t, results, "D3").After.NoEP != 2 {
+		t.Error("only D3 keeps two entry points after patch")
+	}
+}
+
+// TestEquation3Regions reproduces the paper's §IV-A region results:
+// region 1 (phi 0.2, psi 0.9962) selects D4 and D5; region 2 (phi 0.1,
+// psi 0.9961) selects D2 alone.
+func TestEquation3Regions(t *testing.T) {
+	_, results := evaluator(t)
+	region1 := Filter(results, ScatterBounds{MaxASP: 0.2, MinCOA: 0.9962})
+	if len(region1) != 2 || region1[0].Design.Name != "D4" || region1[1].Design.Name != "D5" {
+		names := designNames(region1)
+		t.Errorf("region 1 = %v, want [D4 D5]", names)
+	}
+	region2 := Filter(results, ScatterBounds{MaxASP: 0.1, MinCOA: 0.9961})
+	if len(region2) != 1 || region2[0].Design.Name != "D2" {
+		t.Errorf("region 2 = %v, want [D2]", designNames(region2))
+	}
+}
+
+// TestEquation4Regions reproduces the §IV-B multi-metric regions:
+// region 1 selects D4 alone; region 2 selects D2 alone.
+func TestEquation4Regions(t *testing.T) {
+	_, results := evaluator(t)
+	region1 := Filter(results, MultiBounds{MaxASP: 0.2, MaxNoEV: 9, MaxNoAP: 2, MaxNoEP: 1, MinCOA: 0.9962})
+	if len(region1) != 1 || region1[0].Design.Name != "D4" {
+		t.Errorf("region 1 = %v, want [D4]", designNames(region1))
+	}
+	region2 := Filter(results, MultiBounds{MaxASP: 0.1, MaxNoEV: 7, MaxNoAP: 1, MaxNoEP: 1, MinCOA: 0.9961})
+	if len(region2) != 1 || region2[0].Design.Name != "D2" {
+		t.Errorf("region 2 = %v, want [D2]", designNames(region2))
+	}
+}
+
+func designNames(results []Result) []string {
+	out := make([]string, len(results))
+	for i, r := range results {
+		out[i] = r.Design.Name
+	}
+	return out
+}
+
+func TestParetoFront(t *testing.T) {
+	_, results := evaluator(t)
+	front := ParetoFront(results)
+	if len(front) == 0 {
+		t.Fatal("front must not be empty")
+	}
+	// D1 is dominated by D2 (same ASP, higher COA) and must be absent.
+	for _, r := range front {
+		if r.Design.Name == "D1" {
+			t.Error("D1 is dominated by D2 and must not be on the front")
+		}
+	}
+	// D2 (lowest ASP among survivors) and D4 (highest COA) must be on it.
+	var sawD2, sawD4 bool
+	for _, r := range front {
+		switch r.Design.Name {
+		case "D2":
+			sawD2 = true
+		case "D4":
+			sawD4 = true
+		}
+	}
+	if !sawD2 || !sawD4 {
+		t.Errorf("front = %v, expected D2 and D4 present", designNames(front))
+	}
+	// Sorted by ascending ASP.
+	for i := 1; i < len(front); i++ {
+		if front[i-1].After.ASP > front[i].After.ASP {
+			t.Error("front must be sorted by ascending ASP")
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	_, results := evaluator(t)
+	c := CostModel{ServerPerMonth: 100, DowntimePerHour: 1000, BreachLoss: 10000}
+	d1 := byName(t, results, "D1")
+	cost := c.MonthlyCost(d1)
+	want := 100*4 + 1000*(1-d1.COA)*720 + 10000*d1.After.ASP
+	if !mathx.AlmostEqual(cost, want, 1e-9) {
+		t.Errorf("cost = %v, want %v", cost, want)
+	}
+	cheapest, err := c.Cheapest(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if c.MonthlyCost(r) < c.MonthlyCost(cheapest) {
+			t.Errorf("Cheapest missed %s", r.Design.Name)
+		}
+	}
+	if _, err := c.Cheapest(nil); err == nil {
+		t.Error("Cheapest of empty slice should fail")
+	}
+}
+
+func TestEnumerateDesigns(t *testing.T) {
+	ds := EnumerateDesigns(2)
+	if len(ds) != 16 {
+		t.Fatalf("EnumerateDesigns(2) = %d designs, want 16", len(ds))
+	}
+	seen := make(map[string]bool, len(ds))
+	for _, d := range ds {
+		if err := d.Validate(); err != nil {
+			t.Errorf("design %s invalid: %v", d.Name, err)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate design name %s", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	if got := EnumerateDesigns(0); got != nil {
+		t.Error("EnumerateDesigns(0) should be nil")
+	}
+}
+
+func TestEvaluateRejectsBadDesign(t *testing.T) {
+	e, _ := evaluator(t)
+	if _, err := e.Evaluate(paperdata.Design{Name: "bad"}); err == nil {
+		t.Error("invalid design should fail")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e, _ := evaluator(t)
+	agg := e.AggregatedRates()
+	if len(agg) != 4 {
+		t.Fatalf("AggregatedRates = %d entries, want 4", len(agg))
+	}
+	if !mathx.AlmostEqual(agg[paperdata.RoleDNS].MuEq, 1.49992, 1e-4) {
+		t.Errorf("dns mu_eq = %v, want ≈ 1.49992", agg[paperdata.RoleDNS].MuEq)
+	}
+	plans := e.Plans()
+	if plans[paperdata.RoleApp].TotalDowntime().Minutes() != 60 {
+		t.Errorf("app plan downtime = %v, want 60m", plans[paperdata.RoleApp].TotalDowntime())
+	}
+}
+
+// TestPatchAllPolicyZeroesSecurityMetrics: under a patch-everything
+// policy the after-patch network has no attack surface at all, and the
+// availability cost of patching grows (longer windows).
+func TestPatchAllPolicyZeroesSecurityMetrics(t *testing.T) {
+	pol := patch.Policy{PatchAll: true}
+	e, err := NewEvaluator(Options{Policy: &pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Evaluate(paperdata.Designs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.After.NoEV != 0 || r.After.NoAP != 0 || r.After.ASP != 0 {
+		t.Errorf("patch-all should zero the attack surface, got %+v", r.After)
+	}
+	_, critResults := evaluator(t)
+	critD1 := byName(t, critResults, "D1")
+	if r.COA >= critD1.COA {
+		t.Errorf("patching more vulnerabilities must cost more availability: %v vs %v", r.COA, critD1.COA)
+	}
+}
+
+// TestMaxPathStrategyInsensitiveToRedundancy documents why ASPMaxPath is
+// not the default: it cannot see redundancy at all.
+func TestMaxPathStrategyInsensitiveToRedundancy(t *testing.T) {
+	ev, err := NewEvaluator(Options{Eval: &harm.EvalOptions{Strategy: harm.ASPMaxPath}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ev.Evaluate(paperdata.Designs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := ev.Evaluate(paperdata.Designs()[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(r1.After.ASP, r3.After.ASP, 1e-12) {
+		t.Errorf("max-path ASP should not change with redundancy: %v vs %v", r1.After.ASP, r3.After.ASP)
+	}
+}

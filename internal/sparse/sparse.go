@@ -1,0 +1,187 @@
+// Package sparse implements the compressed sparse row (CSR) matrices used
+// by the CTMC solvers. Infinitesimal generator matrices of stochastic
+// reward nets are extremely sparse (a few transitions per state), so the
+// iterative steady-state and transient solvers in internal/ctmc operate on
+// this representation rather than on dense matrices.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is a single coordinate-format matrix element.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// Builder accumulates coordinate-format entries and assembles them into a
+// CSR matrix. Duplicate (row, col) entries are summed during Build, which
+// lets callers add transition rates one firing at a time.
+type Builder struct {
+	rows, cols int
+	entries    []Entry
+}
+
+// NewBuilder returns a Builder for a rows x cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add records the value v at (row, col). Values at repeated coordinates
+// accumulate. Add panics if the coordinate is out of range, since that is
+// always a programming error in the model generators.
+func (b *Builder) Add(row, col int, v float64) {
+	if row < 0 || row >= b.rows || col < 0 || col >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d matrix", row, col, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, Entry{Row: row, Col: col, Val: v})
+}
+
+// Build assembles the accumulated entries into a CSR matrix, summing
+// duplicates and dropping entries that cancel to exactly zero.
+func (b *Builder) Build() *CSR {
+	sort.Slice(b.entries, func(i, j int) bool {
+		if b.entries[i].Row != b.entries[j].Row {
+			return b.entries[i].Row < b.entries[j].Row
+		}
+		return b.entries[i].Col < b.entries[j].Col
+	})
+
+	m := &CSR{
+		rows:   b.rows,
+		cols:   b.cols,
+		rowPtr: make([]int, b.rows+1),
+	}
+	for i := 0; i < len(b.entries); {
+		j := i
+		sum := 0.0
+		for ; j < len(b.entries) && b.entries[j].Row == b.entries[i].Row && b.entries[j].Col == b.entries[i].Col; j++ {
+			sum += b.entries[j].Val
+		}
+		if sum != 0 {
+			m.colIdx = append(m.colIdx, b.entries[i].Col)
+			m.vals = append(m.vals, sum)
+			m.rowPtr[b.entries[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < b.rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m
+}
+
+// CSR is an immutable matrix in compressed sparse row format.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Dims returns the number of rows and columns.
+func (m *CSR) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored (non-zero) entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the value at (row, col), or 0 when no entry is stored there.
+// It performs a binary search within the row and is intended for tests and
+// spot checks, not for inner solver loops.
+func (m *CSR) At(row, col int) float64 {
+	if row < 0 || row >= m.rows || col < 0 || col >= m.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) outside %dx%d matrix", row, col, m.rows, m.cols))
+	}
+	lo, hi := m.rowPtr[row], m.rowPtr[row+1]
+	i := sort.SearchInts(m.colIdx[lo:hi], col) + lo
+	if i < hi && m.colIdx[i] == col {
+		return m.vals[i]
+	}
+	return 0
+}
+
+// Row invokes fn for each stored entry (col, val) of the given row.
+func (m *CSR) Row(row int, fn func(col int, val float64)) {
+	for i := m.rowPtr[row]; i < m.rowPtr[row+1]; i++ {
+		fn(m.colIdx[i], m.vals[i])
+	}
+}
+
+// MulVec computes dst = m * x (matrix times column vector). dst and x must
+// have lengths equal to the matrix dimensions; dst is overwritten.
+func (m *CSR) MulVec(dst, x []float64) {
+	if len(x) != m.cols || len(dst) != m.rows {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	for r := 0; r < m.rows; r++ {
+		var sum float64
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			sum += m.vals[i] * x[m.colIdx[i]]
+		}
+		dst[r] = sum
+	}
+}
+
+// MulVecLeft computes dst = x * m (row vector times matrix). dst and x must
+// have lengths equal to the matrix dimensions; dst is overwritten.
+func (m *CSR) MulVecLeft(dst, x []float64) {
+	if len(x) != m.rows || len(dst) != m.cols {
+		panic("sparse: MulVecLeft dimension mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			dst[m.colIdx[i]] += xr * m.vals[i]
+		}
+	}
+}
+
+// Transpose returns a new CSR matrix that is the transpose of m.
+func (m *CSR) Transpose() *CSR {
+	b := NewBuilder(m.cols, m.rows)
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			b.Add(m.colIdx[i], r, m.vals[i])
+		}
+	}
+	return b.Build()
+}
+
+// Dense expands the matrix into a row-major dense [][]float64. Intended for
+// the direct (Gaussian elimination) solver on small state spaces and for
+// tests.
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.rows)
+	for r := range d {
+		d[r] = make([]float64, m.cols)
+	}
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			d[r][m.colIdx[i]] = m.vals[i]
+		}
+	}
+	return d
+}
+
+// RowSums returns the sum of each row's stored values. CTMC generator
+// validation uses it: every row of a well-formed generator sums to zero.
+func (m *CSR) RowSums() []float64 {
+	sums := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			sums[r] += m.vals[i]
+		}
+	}
+	return sums
+}

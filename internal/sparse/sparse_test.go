@@ -1,0 +1,239 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTestMatrix() *CSR {
+	// | 1 0 2 |
+	// | 0 3 0 |
+	b := NewBuilder(2, 3)
+	b.Add(0, 0, 1)
+	b.Add(0, 2, 2)
+	b.Add(1, 1, 3)
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	m := buildTestMatrix()
+	rows, cols := m.Dims()
+	if rows != 2 || cols != 3 {
+		t.Fatalf("Dims = (%d,%d), want (2,3)", rows, cols)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", m.NNZ())
+	}
+	tests := []struct {
+		r, c int
+		want float64
+	}{
+		{0, 0, 1}, {0, 1, 0}, {0, 2, 2},
+		{1, 0, 0}, {1, 1, 3}, {1, 2, 0},
+	}
+	for _, tt := range tests {
+		if got := m.At(tt.r, tt.c); got != tt.want {
+			t.Errorf("At(%d,%d) = %v, want %v", tt.r, tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestBuilderAccumulatesDuplicates(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Add(0, 0, 1.5)
+	b.Add(0, 0, 2.5)
+	m := b.Build()
+	if got := m.At(0, 0); got != 4 {
+		t.Errorf("At(0,0) = %v, want 4", got)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", m.NNZ())
+	}
+}
+
+func TestBuilderDropsCancelledEntries(t *testing.T) {
+	b := NewBuilder(1, 2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, -1)
+	b.Add(0, 1, 5)
+	m := b.Build()
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (cancelled entry should be dropped)", m.NNZ())
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestBuilderIgnoresZeros(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 0)
+	m := b.Build()
+	if m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0", m.NNZ())
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range should panic")
+		}
+	}()
+	NewBuilder(1, 1).Add(1, 0, 1)
+}
+
+func TestMulVec(t *testing.T) {
+	m := buildTestMatrix()
+	dst := make([]float64, 2)
+	m.MulVec(dst, []float64{1, 2, 3})
+	if dst[0] != 7 || dst[1] != 6 {
+		t.Errorf("MulVec = %v, want [7 6]", dst)
+	}
+}
+
+func TestMulVecLeft(t *testing.T) {
+	m := buildTestMatrix()
+	dst := make([]float64, 3)
+	m.MulVecLeft(dst, []float64{2, 5})
+	want := []float64{2, 15, 4}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("MulVecLeft = %v, want %v", dst, want)
+			break
+		}
+	}
+}
+
+func TestMulVecDimensionPanics(t *testing.T) {
+	m := buildTestMatrix()
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec with wrong dims should panic")
+		}
+	}()
+	m.MulVec(make([]float64, 2), []float64{1, 2})
+}
+
+func TestTranspose(t *testing.T) {
+	m := buildTestMatrix()
+	tr := m.Transpose()
+	rows, cols := tr.Dims()
+	if rows != 3 || cols != 2 {
+		t.Fatalf("transpose Dims = (%d,%d), want (3,2)", rows, cols)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if m.At(r, c) != tr.At(c, r) {
+				t.Errorf("transpose mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestDense(t *testing.T) {
+	m := buildTestMatrix()
+	d := m.Dense()
+	want := [][]float64{{1, 0, 2}, {0, 3, 0}}
+	for r := range want {
+		for c := range want[r] {
+			if d[r][c] != want[r][c] {
+				t.Errorf("Dense[%d][%d] = %v, want %v", r, c, d[r][c], want[r][c])
+			}
+		}
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	m := buildTestMatrix()
+	sums := m.RowSums()
+	if sums[0] != 3 || sums[1] != 3 {
+		t.Errorf("RowSums = %v, want [3 3]", sums)
+	}
+}
+
+func TestRowIteration(t *testing.T) {
+	m := buildTestMatrix()
+	var cols []int
+	var vals []float64
+	m.Row(0, func(c int, v float64) {
+		cols = append(cols, c)
+		vals = append(vals, v)
+	})
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Errorf("Row(0) visited cols=%v vals=%v", cols, vals)
+	}
+}
+
+// TestMulVecMatchesDense is a property test: the sparse product must match
+// a straightforward dense computation on random matrices.
+func TestMulVecMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(12)
+		cols := 1 + rng.Intn(12)
+		b := NewBuilder(rows, cols)
+		dense := make([][]float64, rows)
+		for r := range dense {
+			dense[r] = make([]float64, cols)
+		}
+		for k := 0; k < rows*cols/2; k++ {
+			r, c := rng.Intn(rows), rng.Intn(cols)
+			v := rng.NormFloat64()
+			b.Add(r, c, v)
+			dense[r][c] += v
+		}
+		m := b.Build()
+
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, rows)
+		m.MulVec(got, x)
+		for r := 0; r < rows; r++ {
+			var want float64
+			for c := 0; c < cols; c++ {
+				want += dense[r][c] * x[c]
+			}
+			if math.Abs(got[r]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransposeInvolution checks transpose(transpose(m)) == m structurally.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		b := NewBuilder(rows, cols)
+		for k := 0; k < rows*cols/2; k++ {
+			b.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		m := b.Build()
+		back := m.Transpose().Transpose()
+		if m.NNZ() != back.NNZ() {
+			return false
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if m.At(r, c) != back.At(r, c) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

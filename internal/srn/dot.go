@@ -1,0 +1,66 @@
+package srn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the net structure in Graphviz dot format: places as circles
+// labelled with their initial marking, timed transitions as hollow boxes,
+// immediate transitions as filled bars, inhibitor arcs with circle
+// arrowheads. The output is deterministic to keep documentation diffs and
+// golden tests stable.
+func (n *Net) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", n.name)
+	b.WriteString("  rankdir=LR;\n")
+
+	places := append([]*Place(nil), n.places...)
+	sort.Slice(places, func(i, j int) bool { return places[i].name < places[j].name })
+	for _, p := range places {
+		label := p.name
+		if p.initial > 0 {
+			label = fmt.Sprintf("%s (%d)", p.name, p.initial)
+		}
+		fmt.Fprintf(&b, "  %q [shape=circle, label=%q];\n", "p_"+p.name, label)
+	}
+
+	trans := append([]*Transition(nil), n.transitions...)
+	sort.Slice(trans, func(i, j int) bool { return trans[i].name < trans[j].name })
+	for _, t := range trans {
+		shape := "box"
+		style := ""
+		if t.kind == Immediate {
+			style = ", style=filled, fillcolor=black, fontcolor=white, height=0.1"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s%s, label=%q];\n", "t_"+t.name, shape, style, t.name)
+	}
+	for _, t := range trans {
+		for _, a := range t.in {
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", "p_"+a.place.name, "t_"+t.name, multAttr(a.mult))
+		}
+		for _, a := range t.out {
+			fmt.Fprintf(&b, "  %q -> %q%s;\n", "t_"+t.name, "p_"+a.place.name, multAttr(a.mult))
+		}
+		for _, a := range t.inhib {
+			fmt.Fprintf(&b, "  %q -> %q [arrowhead=odot%s];\n", "p_"+a.place.name, "t_"+t.name, multLabel(a.mult))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func multAttr(mult int) string {
+	if mult == 1 {
+		return ""
+	}
+	return fmt.Sprintf(" [label=\"%d\"]", mult)
+}
+
+func multLabel(mult int) string {
+	if mult == 1 {
+		return ""
+	}
+	return fmt.Sprintf(", label=\"%d\"", mult)
+}

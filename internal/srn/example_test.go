@@ -1,0 +1,35 @@
+package srn_test
+
+import (
+	"fmt"
+
+	"redpatch/internal/ctmc"
+	"redpatch/internal/srn"
+)
+
+// Example builds the smallest useful stochastic reward net — a server
+// that fails and recovers — and computes its steady-state availability.
+func Example() {
+	net := srn.New("server")
+	up := net.AddPlace("up", 1)
+	down := net.AddPlace("down", 0)
+	net.AddTimedTransition("fail", 0.01).From(up).To(down)
+	net.AddTimedTransition("repair", 1.0).From(down).To(up)
+
+	ss, err := net.Generate(srn.GenerateOptions{})
+	if err != nil {
+		panic(err)
+	}
+	pi, err := ss.SteadyState(ctmc.SolveOptions{})
+	if err != nil {
+		panic(err)
+	}
+	availability, err := ss.ExpectedReward(pi, func(m srn.Marking) float64 {
+		return float64(m.Tokens(up))
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("states: %d, availability: %.4f\n", ss.NumTangible(), availability)
+	// Output: states: 2, availability: 0.9901
+}

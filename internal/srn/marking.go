@@ -1,0 +1,33 @@
+package srn
+
+// Marking is a token count per place, indexed by place creation order.
+// Guards, rate functions and reward functions receive the marking and read
+// it through Tokens, mirroring the #P notation of the paper's Table III.
+type Marking []int
+
+// Tokens returns the number of tokens in place p (the paper's "#P").
+func (m Marking) Tokens(p *Place) int { return m[p.index] }
+
+// key returns a compact map key identifying the marking. Token counts in
+// the models of this repository are tiny (bounded by server replica
+// counts), so one byte per place suffices; the rare larger count falls back
+// to a multi-byte big-endian encoding with an escape byte.
+func (m Marking) key() string {
+	buf := make([]byte, 0, len(m)+4)
+	for _, c := range m {
+		if c < 255 {
+			buf = append(buf, byte(c))
+			continue
+		}
+		buf = append(buf, 255,
+			byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+	}
+	return string(buf)
+}
+
+// clone returns a copy of the marking.
+func (m Marking) clone() Marking {
+	out := make(Marking, len(m))
+	copy(out, m)
+	return out
+}

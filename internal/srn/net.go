@@ -1,0 +1,412 @@
+// Package srn implements stochastic reward nets (SRNs): Petri nets with
+// exponentially timed and immediate transitions, enabling guard functions,
+// marking-dependent firing rates, inhibitor arcs, priorities and weights
+// for immediate-transition conflicts, and rate-reward structures. Nets are
+// compiled into continuous-time Markov chains (internal/ctmc) by reachability
+// exploration with on-the-fly elimination of vanishing markings, which is
+// the same pipeline the paper drives through the SPNP tool.
+package srn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Place is a token container in the net. Places are created through
+// Net.AddPlace and referenced by pointer in arcs, guards and rewards.
+type Place struct {
+	name    string
+	index   int
+	initial int
+}
+
+// Name returns the place name.
+func (p *Place) Name() string { return p.name }
+
+// Initial returns the number of tokens the place holds in the initial
+// marking.
+func (p *Place) Initial() int { return p.initial }
+
+// Kind distinguishes timed from immediate transitions.
+type Kind int
+
+const (
+	// Timed transitions fire after an exponentially distributed delay.
+	Timed Kind = iota + 1
+	// Immediate transitions fire in zero time and have priority over all
+	// timed transitions.
+	Immediate
+)
+
+// String returns a human-readable transition kind.
+func (k Kind) String() string {
+	switch k {
+	case Timed:
+		return "timed"
+	case Immediate:
+		return "immediate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Guard is an enabling predicate evaluated against the current marking;
+// a nil Guard is treated as always true. Guards express the inter-submodel
+// dependencies of the paper's Table III.
+type Guard func(m Marking) bool
+
+// RateFunc yields a marking-dependent firing rate for a timed transition.
+type RateFunc func(m Marking) float64
+
+// RewardFunc assigns a reward rate to a marking; expected steady-state
+// reward is the integral the paper uses for capacity oriented availability.
+type RewardFunc func(m Marking) float64
+
+type arc struct {
+	place *Place
+	mult  int
+}
+
+// Transition is a timed or immediate transition. Configure it with the
+// fluent With*/From/To methods at net-construction time; it must not be
+// mutated after the state space has been generated.
+type Transition struct {
+	name     string
+	kind     Kind
+	rate     float64
+	rateFn   RateFunc
+	weight   float64
+	priority int
+	guard    Guard
+	in       []arc
+	out      []arc
+	inhib    []arc
+}
+
+// Name returns the transition name.
+func (t *Transition) Name() string { return t.name }
+
+// Kind returns whether the transition is timed or immediate.
+func (t *Transition) Kind() Kind { return t.kind }
+
+// From adds input arcs (multiplicity 1) from each of the given places.
+func (t *Transition) From(places ...*Place) *Transition {
+	for _, p := range places {
+		t.in = append(t.in, arc{place: p, mult: 1})
+	}
+	return t
+}
+
+// FromN adds an input arc from p with the given multiplicity.
+func (t *Transition) FromN(p *Place, mult int) *Transition {
+	t.in = append(t.in, arc{place: p, mult: mult})
+	return t
+}
+
+// To adds output arcs (multiplicity 1) to each of the given places.
+func (t *Transition) To(places ...*Place) *Transition {
+	for _, p := range places {
+		t.out = append(t.out, arc{place: p, mult: 1})
+	}
+	return t
+}
+
+// ToN adds an output arc to p with the given multiplicity.
+func (t *Transition) ToN(p *Place, mult int) *Transition {
+	t.out = append(t.out, arc{place: p, mult: mult})
+	return t
+}
+
+// Inhibit adds an inhibitor arc: the transition is disabled while p holds
+// at least mult tokens.
+func (t *Transition) Inhibit(p *Place, mult int) *Transition {
+	t.inhib = append(t.inhib, arc{place: p, mult: mult})
+	return t
+}
+
+// WithGuard attaches an enabling guard.
+func (t *Transition) WithGuard(g Guard) *Transition {
+	t.guard = g
+	return t
+}
+
+// WithRateFunc makes a timed transition's rate marking-dependent, as the
+// paper requires for the upper-layer tier transitions (rate = lambda * #up).
+func (t *Transition) WithRateFunc(fn RateFunc) *Transition {
+	t.rateFn = fn
+	return t
+}
+
+// WithWeight sets the conflict-resolution weight of an immediate
+// transition (default 1). When several immediate transitions of equal
+// priority are enabled, each fires with probability proportional to its
+// weight.
+func (t *Transition) WithWeight(w float64) *Transition {
+	t.weight = w
+	return t
+}
+
+// WithPriority sets the priority of an immediate transition (default 0).
+// Only the highest-priority enabled immediates compete to fire.
+func (t *Transition) WithPriority(p int) *Transition {
+	t.priority = p
+	return t
+}
+
+// Net is a stochastic reward net under construction.
+type Net struct {
+	name        string
+	places      []*Place
+	transitions []*Transition
+	byPlaceName map[string]*Place
+	byTransName map[string]*Transition
+}
+
+// New returns an empty net with the given name.
+func New(name string) *Net {
+	return &Net{
+		name:        name,
+		byPlaceName: make(map[string]*Place),
+		byTransName: make(map[string]*Transition),
+	}
+}
+
+// Name returns the net name.
+func (n *Net) Name() string { return n.name }
+
+// AddPlace creates a place with the given initial token count. Place names
+// must be unique within the net; AddPlace panics on duplicates because the
+// model builders construct nets from static descriptions.
+func (n *Net) AddPlace(name string, initial int) *Place {
+	if _, dup := n.byPlaceName[name]; dup {
+		panic(fmt.Sprintf("srn: duplicate place %q", name))
+	}
+	if initial < 0 {
+		panic(fmt.Sprintf("srn: place %q has negative initial marking", name))
+	}
+	p := &Place{name: name, index: len(n.places), initial: initial}
+	n.places = append(n.places, p)
+	n.byPlaceName[name] = p
+	return p
+}
+
+// AddTimedTransition creates an exponentially timed transition with the
+// given (constant) rate. Use WithRateFunc for marking-dependent rates; the
+// constant rate is then ignored.
+func (n *Net) AddTimedTransition(name string, rate float64) *Transition {
+	t := n.addTransition(name, Timed)
+	t.rate = rate
+	return t
+}
+
+// AddImmediateTransition creates an immediate transition with weight 1 and
+// priority 0.
+func (n *Net) AddImmediateTransition(name string) *Transition {
+	t := n.addTransition(name, Immediate)
+	t.weight = 1
+	return t
+}
+
+func (n *Net) addTransition(name string, k Kind) *Transition {
+	if _, dup := n.byTransName[name]; dup {
+		panic(fmt.Sprintf("srn: duplicate transition %q", name))
+	}
+	t := &Transition{name: name, kind: k}
+	n.transitions = append(n.transitions, t)
+	n.byTransName[name] = t
+	return t
+}
+
+// Place returns the place with the given name, or nil if absent.
+func (n *Net) Place(name string) *Place { return n.byPlaceName[name] }
+
+// TransitionByName returns the transition with the given name, or nil.
+func (n *Net) TransitionByName(name string) *Transition { return n.byTransName[name] }
+
+// Places returns the places in creation order.
+func (n *Net) Places() []*Place {
+	out := make([]*Place, len(n.places))
+	copy(out, n.places)
+	return out
+}
+
+// Transitions returns the transitions in creation order.
+func (n *Net) Transitions() []*Transition {
+	out := make([]*Transition, len(n.transitions))
+	copy(out, n.transitions)
+	return out
+}
+
+// InitialMarking returns the net's initial marking.
+func (n *Net) InitialMarking() Marking {
+	m := make(Marking, len(n.places))
+	for _, p := range n.places {
+		m[p.index] = p.initial
+	}
+	return m
+}
+
+// Validate checks structural well-formedness: every transition has at least
+// one arc, arc multiplicities are positive, timed transitions have a
+// positive constant rate or a rate function, and immediate transitions have
+// positive weight.
+func (n *Net) Validate() error {
+	if len(n.places) == 0 {
+		return fmt.Errorf("srn %q: net has no places", n.name)
+	}
+	for _, t := range n.transitions {
+		if len(t.in)+len(t.out) == 0 {
+			return fmt.Errorf("srn %q: transition %q has no arcs", n.name, t.name)
+		}
+		for _, a := range append(append(append([]arc{}, t.in...), t.out...), t.inhib...) {
+			if a.mult <= 0 {
+				return fmt.Errorf("srn %q: transition %q has non-positive arc multiplicity on place %q", n.name, t.name, a.place.name)
+			}
+		}
+		switch t.kind {
+		case Timed:
+			if t.rateFn == nil && t.rate <= 0 {
+				return fmt.Errorf("srn %q: timed transition %q has no positive rate", n.name, t.name)
+			}
+		case Immediate:
+			if t.weight <= 0 {
+				return fmt.Errorf("srn %q: immediate transition %q has non-positive weight", n.name, t.name)
+			}
+		default:
+			return fmt.Errorf("srn %q: transition %q has invalid kind %v", n.name, t.name, t.kind)
+		}
+	}
+	return nil
+}
+
+// enabled reports whether t may fire in marking m.
+func (n *Net) enabled(t *Transition, m Marking) bool {
+	for _, a := range t.in {
+		if m[a.place.index] < a.mult {
+			return false
+		}
+	}
+	for _, a := range t.inhib {
+		if m[a.place.index] >= a.mult {
+			return false
+		}
+	}
+	if t.guard != nil && !t.guard(m) {
+		return false
+	}
+	return true
+}
+
+// fire returns the marking reached by firing t in m. It assumes t is
+// enabled.
+func (n *Net) fire(t *Transition, m Marking) Marking {
+	next := make(Marking, len(m))
+	copy(next, m)
+	for _, a := range t.in {
+		next[a.place.index] -= a.mult
+	}
+	for _, a := range t.out {
+		next[a.place.index] += a.mult
+	}
+	return next
+}
+
+// rateOf returns the firing rate of a timed transition in marking m.
+func (t *Transition) rateOf(m Marking) float64 {
+	if t.rateFn != nil {
+		return t.rateFn(m)
+	}
+	return t.rate
+}
+
+// enabledImmediates returns the highest-priority enabled immediate
+// transitions in m, or nil when none are enabled (m is tangible).
+func (n *Net) enabledImmediates(m Marking) []*Transition {
+	var best []*Transition
+	bestPrio := 0
+	for _, t := range n.transitions {
+		if t.kind != Immediate || !n.enabled(t, m) {
+			continue
+		}
+		switch {
+		case best == nil || t.priority > bestPrio:
+			best = []*Transition{t}
+			bestPrio = t.priority
+		case t.priority == bestPrio:
+			best = append(best, t)
+		}
+	}
+	return best
+}
+
+// enabledTimed returns the timed transitions enabled in m.
+func (n *Net) enabledTimed(m Marking) []*Transition {
+	var out []*Transition
+	for _, t := range n.transitions {
+		if t.kind == Timed && n.enabled(t, m) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Weight returns the conflict-resolution weight of an immediate
+// transition (1 unless set otherwise).
+func (t *Transition) Weight() float64 { return t.weight }
+
+// Priority returns the priority of an immediate transition.
+func (t *Transition) Priority() int { return t.priority }
+
+// Enabled reports whether t may fire in marking m (exported for
+// simulators and diagnostics).
+func (n *Net) Enabled(t *Transition, m Marking) bool { return n.enabled(t, m) }
+
+// TimedRate returns the firing rate of a timed transition in marking m
+// and whether the transition is enabled there.
+func (n *Net) TimedRate(t *Transition, m Marking) (float64, bool) {
+	if t.kind != Timed || !n.enabled(t, m) {
+		return 0, false
+	}
+	return t.rateOf(m), true
+}
+
+// EnabledImmediates returns the highest-priority enabled immediate
+// transitions of m (exported for simulators).
+func (n *Net) EnabledImmediates(m Marking) []*Transition { return n.enabledImmediates(m) }
+
+// Fire returns the marking reached by firing t in m. Firing a disabled
+// transition is a programming error and panics.
+func (n *Net) Fire(t *Transition, m Marking) Marking {
+	if !n.enabled(t, m) {
+		panic(fmt.Sprintf("srn: firing disabled transition %q in %s", t.name, n.MarkingString(m)))
+	}
+	return n.fire(t, m)
+}
+
+// MarkingString renders a marking as "Place:count" pairs of the non-empty
+// places, sorted by place name; used in diagnostics and tests.
+func (n *Net) MarkingString(m Marking) string {
+	type pc struct {
+		name  string
+		count int
+	}
+	var parts []pc
+	for _, p := range n.places {
+		if m[p.index] > 0 {
+			parts = append(parts, pc{name: p.name, count: m[p.index]})
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].name < parts[j].name })
+	s := "{"
+	for i, q := range parts {
+		if i > 0 {
+			s += " "
+		}
+		if q.count == 1 {
+			s += q.name
+		} else {
+			s += fmt.Sprintf("%s:%d", q.name, q.count)
+		}
+	}
+	return s + "}"
+}

@@ -1,0 +1,223 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func threeTier(t *testing.T) *Topology {
+	t.Helper()
+	top := New()
+	top.MustAddNode(Node{Name: "attacker", Kind: KindAttacker, Subnet: "internet"})
+	top.MustAddNode(Node{Name: "dns1", Kind: KindHost, Subnet: "dmz2", Role: "dns"})
+	top.MustAddNode(Node{Name: "web1", Kind: KindHost, Subnet: "dmz1", Role: "web"})
+	top.MustAddNode(Node{Name: "web2", Kind: KindHost, Subnet: "dmz1", Role: "web"})
+	top.MustAddNode(Node{Name: "app1", Kind: KindHost, Subnet: "intranet", Role: "app"})
+	top.MustAddNode(Node{Name: "db1", Kind: KindHost, Subnet: "intranet", Role: "db"})
+	return top
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	top := New()
+	tests := []struct {
+		name    string
+		node    Node
+		wantErr bool
+	}{
+		{name: "ok", node: Node{Name: "a", Kind: KindHost, Role: "x"}, wantErr: false},
+		{name: "empty", node: Node{Kind: KindHost}, wantErr: true},
+		{name: "badKind", node: Node{Name: "b"}, wantErr: true},
+		{name: "dup", node: Node{Name: "a", Kind: KindHost}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := top.AddNode(tt.node); (err != nil) != tt.wantErr {
+				t.Errorf("AddNode err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConnect(t *testing.T) {
+	top := threeTier(t)
+	if err := top.Connect("attacker", "web1"); err != nil {
+		t.Fatal(err)
+	}
+	if !top.HasEdge("attacker", "web1") {
+		t.Error("edge should exist")
+	}
+	if top.HasEdge("web1", "attacker") {
+		t.Error("edges are directed")
+	}
+	if err := top.Connect("attacker", "nosuch"); err == nil {
+		t.Error("Connect to unknown node should fail")
+	}
+	if err := top.Connect("nosuch", "web1"); err == nil {
+		t.Error("Connect from unknown node should fail")
+	}
+	if err := top.Connect("web1", "web1"); err == nil {
+		t.Error("self edge should fail")
+	}
+}
+
+func TestApplyRules(t *testing.T) {
+	top := threeTier(t)
+	top.ApplyRules([]Rule{
+		{FromSubnet: "internet", ToSubnet: "dmz1"},
+		{FromSubnet: "dmz1", ToSubnet: "intranet"},
+	})
+	for _, want := range [][2]string{
+		{"attacker", "web1"}, {"attacker", "web2"},
+		{"web1", "app1"}, {"web1", "db1"}, {"web2", "app1"},
+	} {
+		if !top.HasEdge(want[0], want[1]) {
+			t.Errorf("rule-derived edge %s -> %s missing", want[0], want[1])
+		}
+	}
+	if top.HasEdge("attacker", "app1") {
+		t.Error("no rule allows internet -> intranet")
+	}
+	// Intra-subnet rule must not create self edges.
+	top.ApplyRules([]Rule{{FromSubnet: "dmz1", ToSubnet: "dmz1"}})
+	if top.HasEdge("web1", "web1") {
+		t.Error("self edge created by intra-subnet rule")
+	}
+	if !top.HasEdge("web1", "web2") {
+		t.Error("intra-subnet rule should connect distinct nodes")
+	}
+}
+
+func TestApplyRulesDeny(t *testing.T) {
+	top := threeTier(t)
+	top.ApplyRules([]Rule{
+		{FromSubnet: "internet", ToSubnet: "dmz1"},
+		{FromSubnet: "internet", ToSubnet: "dmz1", Deny: true},
+	})
+	if top.HasEdge("attacker", "web1") {
+		t.Error("later deny rule must remove the allowed edges")
+	}
+	// Deny also covers explicitly connected edges.
+	top.MustConnect("attacker", "web2")
+	top.ApplyRules([]Rule{{FromSubnet: "internet", ToSubnet: "dmz1", Deny: true}})
+	if top.HasEdge("attacker", "web2") {
+		t.Error("deny rule must remove explicit edges too")
+	}
+	// Order matters: allow after deny wins.
+	top.ApplyRules([]Rule{
+		{FromSubnet: "internet", ToSubnet: "dmz1", Deny: true},
+		{FromSubnet: "internet", ToSubnet: "dmz1"},
+	})
+	if !top.HasEdge("attacker", "web1") {
+		t.Error("allow after deny should restore the edges")
+	}
+	// Denying a non-existent edge is a no-op.
+	fresh := threeTier(t)
+	fresh.ApplyRules([]Rule{{FromSubnet: "internet", ToSubnet: "intranet", Deny: true}})
+	if len(fresh.Successors("attacker")) != 0 {
+		t.Error("deny on absent edges must not create anything")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	top := threeTier(t)
+	top.MustConnect("attacker", "web1")
+	top.MustConnect("web1", "app1")
+	top.MustConnect("app1", "db1")
+	if !top.Reachable("attacker", "db1") {
+		t.Error("db1 should be reachable transitively")
+	}
+	if top.Reachable("db1", "attacker") {
+		t.Error("reverse direction should not be reachable")
+	}
+	if top.Reachable("nosuch", "db1") {
+		t.Error("unknown source should not be reachable")
+	}
+	if !top.Reachable("web1", "web1") {
+		t.Error("a node reaches itself")
+	}
+}
+
+func TestNodeQueries(t *testing.T) {
+	top := threeTier(t)
+	if len(top.Nodes()) != 6 {
+		t.Errorf("Nodes = %d, want 6", len(top.Nodes()))
+	}
+	if len(top.Hosts()) != 5 {
+		t.Errorf("Hosts = %d, want 5", len(top.Hosts()))
+	}
+	att := top.Attackers()
+	if len(att) != 1 || att[0].Name != "attacker" {
+		t.Errorf("Attackers = %v", att)
+	}
+	n, ok := top.Node("web1")
+	if !ok || n.Role != "web" {
+		t.Errorf("Node(web1) = %+v, %v", n, ok)
+	}
+	hosts := top.Hosts()
+	for i := 1; i < len(hosts); i++ {
+		if hosts[i-1].Name >= hosts[i].Name {
+			t.Error("Hosts must be sorted")
+		}
+	}
+}
+
+func TestSuccessorsSorted(t *testing.T) {
+	top := threeTier(t)
+	top.MustConnect("attacker", "web2")
+	top.MustConnect("attacker", "dns1")
+	top.MustConnect("attacker", "web1")
+	got := top.Successors("attacker")
+	want := []string{"dns1", "web1", "web2"}
+	if len(got) != len(want) {
+		t.Fatalf("Successors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Successors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	top := threeTier(t)
+	if err := top.Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+
+	t.Run("noAttacker", func(t *testing.T) {
+		bad := New()
+		bad.MustAddNode(Node{Name: "h", Kind: KindHost, Role: "x"})
+		if err := bad.Validate(); err == nil {
+			t.Error("topology without attacker should fail")
+		}
+	})
+	t.Run("noHosts", func(t *testing.T) {
+		bad := New()
+		bad.MustAddNode(Node{Name: "a", Kind: KindAttacker})
+		if err := bad.Validate(); err == nil {
+			t.Error("topology without hosts should fail")
+		}
+	})
+	t.Run("hostWithoutRole", func(t *testing.T) {
+		bad := New()
+		bad.MustAddNode(Node{Name: "a", Kind: KindAttacker})
+		bad.MustAddNode(Node{Name: "h", Kind: KindHost})
+		if err := bad.Validate(); err == nil {
+			t.Error("host without role should fail")
+		}
+	})
+}
+
+func TestDOT(t *testing.T) {
+	top := threeTier(t)
+	top.MustConnect("attacker", "web1")
+	dot := top.DOT()
+	for _, want := range []string{"digraph", "cluster_", "attacker", "web1", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	if dot != top.DOT() {
+		t.Error("DOT output must be deterministic")
+	}
+}

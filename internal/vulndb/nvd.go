@@ -1,0 +1,103 @@
+package vulndb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"redpatch/internal/cvss"
+)
+
+// This file ingests the National Vulnerability Database JSON 1.1 feed
+// format (the nvdcve-1.1-*.json files), the data source the paper
+// collected its inputs from. Only the fields the framework needs are
+// decoded: CVE identifier, description, and the CVSS v2 base vector.
+// Product assignment, component classification and the exploitability
+// flag require human judgement (the paper curates them too), so the
+// caller supplies them through a Classifier.
+
+// NVDItem is the decoded subset of one CVE_Items entry.
+type NVDItem struct {
+	// ID is the CVE identifier.
+	ID string
+	// Description is the first English description, if any.
+	Description string
+	// VectorV2 is the CVSS v2 base vector, zero-valued when the feed
+	// carries no v2 score.
+	VectorV2 cvss.Vector
+	// HasV2 reports whether VectorV2 is populated.
+	HasV2 bool
+}
+
+// Classifier turns a decoded feed item into a full vulnerability record,
+// or returns keep=false to skip the item (e.g. products outside the
+// modelled network).
+type Classifier func(NVDItem) (v Vulnerability, keep bool)
+
+// feed mirrors just enough of the NVD JSON 1.1 schema.
+type feed struct {
+	CVEItems []struct {
+		CVE struct {
+			Meta struct {
+				ID string `json:"ID"`
+			} `json:"CVE_data_meta"`
+			Description struct {
+				Data []struct {
+					Lang  string `json:"lang"`
+					Value string `json:"value"`
+				} `json:"description_data"`
+			} `json:"description"`
+		} `json:"cve"`
+		Impact struct {
+			BaseMetricV2 struct {
+				CVSSV2 struct {
+					VectorString string `json:"vectorString"`
+				} `json:"cvssV2"`
+			} `json:"baseMetricV2"`
+		} `json:"impact"`
+	} `json:"CVE_Items"`
+}
+
+// FromNVDJSON decodes an NVD JSON 1.1 feed and builds a database from the
+// items the classifier keeps. Items without a v2 vector are offered to
+// the classifier with HasV2 == false (it can still keep them by filling
+// Vulnerability.Vector itself, e.g. translated from a v3 score).
+func FromNVDJSON(r io.Reader, classify Classifier) (*DB, error) {
+	if classify == nil {
+		return nil, fmt.Errorf("vulndb: nil classifier")
+	}
+	var f feed
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("vulndb: decode NVD feed: %w", err)
+	}
+	db := New()
+	for _, item := range f.CVEItems {
+		out := NVDItem{ID: item.CVE.Meta.ID}
+		if out.ID == "" {
+			return nil, fmt.Errorf("vulndb: feed item without CVE ID")
+		}
+		for _, d := range item.CVE.Description.Data {
+			if d.Lang == "en" {
+				out.Description = d.Value
+				break
+			}
+		}
+		if vs := item.Impact.BaseMetricV2.CVSSV2.VectorString; vs != "" {
+			vec, err := cvss.Parse(vs)
+			if err != nil {
+				return nil, fmt.Errorf("vulndb: %s: %w", out.ID, err)
+			}
+			out.VectorV2 = vec
+			out.HasV2 = true
+		}
+		v, keep := classify(out)
+		if !keep {
+			continue
+		}
+		if err := db.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

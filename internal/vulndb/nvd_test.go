@@ -1,0 +1,115 @@
+package vulndb
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleFeed is a minimal NVD JSON 1.1 document with two scored CVEs and
+// one without a v2 score.
+const sampleFeed = `{
+  "CVE_data_type": "CVE",
+  "CVE_Items": [
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2016-6662"},
+        "description": {"description_data": [
+          {"lang": "es", "value": "ejemplo"},
+          {"lang": "en", "value": "MySQL remote root code execution"}
+        ]}
+      },
+      "impact": {"baseMetricV2": {"cvssV2": {"vectorString": "AV:N/AC:L/Au:N/C:C/I:C/A:C"}}}
+    },
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2015-3152"},
+        "description": {"description_data": [
+          {"lang": "en", "value": "MySQL BACKRONYM SSL downgrade"}
+        ]}
+      },
+      "impact": {"baseMetricV2": {"cvssV2": {"vectorString": "(AV:N/AC:M/Au:N/C:P/I:N/A:N)"}}}
+    },
+    {
+      "cve": {
+        "CVE_data_meta": {"ID": "CVE-2023-0001"},
+        "description": {"description_data": [
+          {"lang": "en", "value": "modern flaw without a v2 score"}
+        ]}
+      },
+      "impact": {}
+    }
+  ]
+}`
+
+func TestFromNVDJSON(t *testing.T) {
+	classify := func(item NVDItem) (Vulnerability, bool) {
+		if !item.HasV2 {
+			return Vulnerability{}, false
+		}
+		return Vulnerability{
+			ID:          item.ID,
+			Product:     "MySQL",
+			Component:   ComponentService,
+			Vector:      item.VectorV2,
+			Exploitable: true,
+			Description: item.Description,
+		}, true
+	}
+	db, err := FromNVDJSON(strings.NewReader(sampleFeed), classify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (the unscored item is skipped)", db.Len())
+	}
+	v, ok := db.ByID("CVE-2016-6662")
+	if !ok {
+		t.Fatal("CVE-2016-6662 missing")
+	}
+	if v.BaseScore() != 10.0 {
+		t.Errorf("base score = %v, want 10.0", v.BaseScore())
+	}
+	if v.Description != "MySQL remote root code execution" {
+		t.Errorf("description = %q (English must win)", v.Description)
+	}
+	low, _ := db.ByID("CVE-2015-3152")
+	if low.BaseScore() != 4.3 {
+		t.Errorf("parenthesized vector score = %v, want 4.3", low.BaseScore())
+	}
+}
+
+func TestFromNVDJSONClassifierSeesUnscored(t *testing.T) {
+	var unscored []string
+	_, err := FromNVDJSON(strings.NewReader(sampleFeed), func(item NVDItem) (Vulnerability, bool) {
+		if !item.HasV2 {
+			unscored = append(unscored, item.ID)
+		}
+		return Vulnerability{}, false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unscored) != 1 || unscored[0] != "CVE-2023-0001" {
+		t.Errorf("unscored = %v, want [CVE-2023-0001]", unscored)
+	}
+}
+
+func TestFromNVDJSONErrors(t *testing.T) {
+	keepAll := func(item NVDItem) (Vulnerability, bool) {
+		return Vulnerability{ID: item.ID, Product: "x", Component: ComponentOS, Vector: item.VectorV2}, item.HasV2
+	}
+	if _, err := FromNVDJSON(strings.NewReader(sampleFeed), nil); err == nil {
+		t.Error("nil classifier should fail")
+	}
+	if _, err := FromNVDJSON(strings.NewReader("{not json"), keepAll); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	bad := `{"CVE_Items":[{"cve":{"CVE_data_meta":{"ID":"CVE-1"}},"impact":{"baseMetricV2":{"cvssV2":{"vectorString":"garbage"}}}}]}`
+	if _, err := FromNVDJSON(strings.NewReader(bad), keepAll); err == nil {
+		t.Error("bad vector should fail")
+	}
+	noID := `{"CVE_Items":[{"cve":{},"impact":{}}]}`
+	if _, err := FromNVDJSON(strings.NewReader(noID), keepAll); err == nil {
+		t.Error("missing CVE ID should fail")
+	}
+}

@@ -1,0 +1,396 @@
+// Package redpatch is a from-scratch Go implementation of the modelling
+// framework of "Evaluating Security and Availability of Multiple
+// Redundancy Designs when Applying Security Patches" (Ge, Kim & Kim,
+// DSN-W 2017): graphical security models (two-layered HARM over attack
+// graphs and attack trees, scored from CVSS v2), stochastic reward nets
+// compiled to continuous-time Markov chains for capacity oriented
+// availability under patch schedules, and the administrator decision
+// functions that combine the two.
+//
+// This package is the high-level facade: it exposes the paper's complete
+// case study plus design evaluation, decision regions, Pareto analysis and
+// cost modelling. The engines live in internal packages (srn, ctmc, harm,
+// availability, ...) and are exercised through examples/ and cmd/.
+//
+//	study, err := redpatch.NewCaseStudy()
+//	r, err := study.EvaluateDesign("mine", 1, 2, 2, 1)
+//	fmt.Println(r.COA, r.After.ASP)
+package redpatch
+
+import (
+	"fmt"
+	"time"
+
+	"redpatch/internal/attacktree"
+	"redpatch/internal/availability"
+	"redpatch/internal/harm"
+	"redpatch/internal/paperdata"
+	"redpatch/internal/patch"
+	"redpatch/internal/redundancy"
+)
+
+// hours converts a float hour count to a duration.
+func hours(h float64) time.Duration {
+	return time.Duration(h * float64(time.Hour))
+}
+
+// SecuritySummary carries the paper's five security metrics for one
+// design at one point in time (before or after the patch round).
+type SecuritySummary struct {
+	// AIM is the network-level attack impact.
+	AIM float64
+	// ASP is the network-level attack success probability.
+	ASP float64
+	// NoEV is the number of exploitable vulnerabilities across servers.
+	NoEV int
+	// NoAP is the number of attack paths to the target tier.
+	NoAP int
+	// NoEP is the number of entry points.
+	NoEP int
+}
+
+func summarize(m harm.Metrics) SecuritySummary {
+	return SecuritySummary{AIM: m.AIM, ASP: m.ASP, NoEV: m.NoEV, NoAP: m.NoAP, NoEP: m.NoEP}
+}
+
+// DesignReport is the combined evaluation of one redundancy design.
+type DesignReport struct {
+	// Name labels the design; Description renders it in the paper's
+	// "1 DNS + 2 WEB + 2 APP + 1 DB" notation.
+	Name, Description string
+	// Servers is the total server count.
+	Servers int
+	// Before and After are the security metrics around the patch round.
+	Before, After SecuritySummary
+	// COA is the capacity oriented availability under the monthly patch
+	// schedule.
+	COA float64
+	// ServiceAvailability is P(at least one server up per tier).
+	ServiceAvailability float64
+}
+
+// PatchRates are the aggregated per-server-type rates of the paper's
+// Table V.
+type PatchRates struct {
+	// MTTPHours is the mean time to patch (1/lambda_eq).
+	MTTPHours float64
+	// PatchRate is lambda_eq per hour.
+	PatchRate float64
+	// MTTRHours is the mean time to recover from a patch (1/mu_eq).
+	MTTRHours float64
+	// RecoveryRate is mu_eq per hour.
+	RecoveryRate float64
+	// DowntimeMinutes is the planned patch-window length (service patch +
+	// OS patch + merged reboots).
+	DowntimeMinutes float64
+}
+
+// CaseStudy is the paper's example enterprise network, ready to evaluate
+// redundancy designs against.
+type CaseStudy struct {
+	eval *redundancy.Evaluator
+}
+
+// NewCaseStudy builds the paper's case study: the Table I vulnerability
+// dataset, the Fig. 3 attack trees, the Table IV rates, the critical
+// patch policy (CVSS base score > 8.0) and the monthly schedule. The four
+// per-server-type availability models are solved once here.
+func NewCaseStudy() (*CaseStudy, error) {
+	return NewCaseStudyWithConfig(Config{})
+}
+
+// Config customizes the case study's patch management. Zero-value fields
+// select the paper's defaults.
+type Config struct {
+	// CriticalThreshold is the CVSS base-score bound above which
+	// vulnerabilities are patched (default 8.0). Ignored when PatchAll is
+	// set.
+	CriticalThreshold float64
+	// PatchAll patches every vulnerability regardless of score.
+	PatchAll bool
+	// PatchIntervalHours is the patch cadence (default 720, i.e. monthly).
+	PatchIntervalHours float64
+}
+
+// NewCaseStudyWithConfig builds the case study under a custom patch
+// policy and schedule — the what-if knobs of the paper's §V (different
+// patch schedules, different vulnerability selections).
+func NewCaseStudyWithConfig(cfg Config) (*CaseStudy, error) {
+	pol := patch.CriticalPolicy()
+	if cfg.PatchAll {
+		pol = patch.Policy{PatchAll: true}
+	} else if cfg.CriticalThreshold > 0 {
+		pol = patch.Policy{CriticalThreshold: cfg.CriticalThreshold}
+	}
+	sch := patch.MonthlySchedule()
+	if cfg.PatchIntervalHours > 0 {
+		sch.Interval = hours(cfg.PatchIntervalHours)
+	}
+	e, err := redundancy.NewEvaluator(redundancy.Options{Policy: &pol, Schedule: &sch})
+	if err != nil {
+		return nil, err
+	}
+	return &CaseStudy{eval: e}, nil
+}
+
+// EvaluateDesign evaluates a redundancy design given per-tier replica
+// counts (each at least 1).
+func (s *CaseStudy) EvaluateDesign(name string, dns, web, app, db int) (DesignReport, error) {
+	d := paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}
+	r, err := s.eval.Evaluate(d)
+	if err != nil {
+		return DesignReport{}, err
+	}
+	return convert(r), nil
+}
+
+// PaperDesigns evaluates the five design choices of the paper's §IV in
+// order (D1..D5).
+func (s *CaseStudy) PaperDesigns() ([]DesignReport, error) {
+	results, err := s.eval.EvaluateAll(paperdata.Designs())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DesignReport, len(results))
+	for i, r := range results {
+		out[i] = convert(r)
+	}
+	return out, nil
+}
+
+// BaseNetwork evaluates the paper's §III case-study network
+// (1 DNS + 2 WEB + 2 APP + 1 DB), whose COA the paper reports as 0.99707.
+func (s *CaseStudy) BaseNetwork() (DesignReport, error) {
+	r, err := s.eval.Evaluate(paperdata.BaseDesign())
+	if err != nil {
+		return DesignReport{}, err
+	}
+	return convert(r), nil
+}
+
+// PatchRates returns the aggregated patch/recovery rates per server type
+// (the paper's Table V), keyed by "dns", "web", "app", "db".
+func (s *CaseStudy) PatchRates() map[string]PatchRates {
+	agg := s.eval.AggregatedRates()
+	plans := s.eval.Plans()
+	out := make(map[string]PatchRates, len(agg))
+	for role, a := range agg {
+		pr := PatchRates{
+			PatchRate:       a.LambdaEq,
+			RecoveryRate:    a.MuEq,
+			DowntimeMinutes: plans[role].TotalDowntime().Minutes(),
+		}
+		if a.LambdaEq > 0 {
+			pr.MTTPHours = a.MTTP()
+		}
+		if a.MuEq > 0 {
+			pr.MTTRHours = a.MTTR()
+		}
+		out[role] = pr
+	}
+	return out
+}
+
+func convert(r redundancy.Result) DesignReport {
+	return DesignReport{
+		Name:                r.Design.Name,
+		Description:         r.Design.String(),
+		Servers:             r.Design.Total(),
+		Before:              summarize(r.Before),
+		After:               summarize(r.After),
+		COA:                 r.COA,
+		ServiceAvailability: r.ServiceAvailability,
+	}
+}
+
+// ScatterBounds are the Eq. 3 administrator bounds: an ASP ceiling (phi)
+// and a COA floor (psi).
+type ScatterBounds struct {
+	MaxASP float64
+	MinCOA float64
+}
+
+// MultiBounds are the Eq. 4 administrator bounds over four security
+// metrics and COA.
+type MultiBounds struct {
+	MaxASP  float64
+	MaxNoEV int
+	MaxNoAP int
+	MaxNoEP int
+	MinCOA  float64
+}
+
+// SatisfiesScatter implements the paper's Eq. 3 on a design report.
+func SatisfiesScatter(r DesignReport, b ScatterBounds) bool {
+	return r.After.ASP <= b.MaxASP && r.COA >= b.MinCOA
+}
+
+// SatisfiesMulti implements the paper's Eq. 4 on a design report.
+func SatisfiesMulti(r DesignReport, b MultiBounds) bool {
+	return r.After.ASP <= b.MaxASP &&
+		r.After.NoEV <= b.MaxNoEV &&
+		r.After.NoAP <= b.MaxNoAP &&
+		r.After.NoEP <= b.MaxNoEP &&
+		r.COA >= b.MinCOA
+}
+
+// FilterScatter returns the designs satisfying Eq. 3, preserving order.
+func FilterScatter(reports []DesignReport, b ScatterBounds) []DesignReport {
+	var out []DesignReport
+	for _, r := range reports {
+		if SatisfiesScatter(r, b) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterMulti returns the designs satisfying Eq. 4, preserving order.
+func FilterMulti(reports []DesignReport, b MultiBounds) []DesignReport {
+	var out []DesignReport
+	for _, r := range reports {
+		if SatisfiesMulti(r, b) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Pareto returns the reports not dominated on (minimize after-patch ASP,
+// maximize COA), sorted by ascending ASP.
+func Pareto(reports []DesignReport) []DesignReport {
+	var front []DesignReport
+	for i, r := range reports {
+		dominated := false
+		for j, s := range reports {
+			if i == j {
+				continue
+			}
+			if s.After.ASP <= r.After.ASP && s.COA >= r.COA &&
+				(s.After.ASP < r.After.ASP || s.COA > r.COA) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, r)
+		}
+	}
+	for i := 1; i < len(front); i++ {
+		for j := i; j > 0 && less(front[j], front[j-1]); j-- {
+			front[j], front[j-1] = front[j-1], front[j]
+		}
+	}
+	return front
+}
+
+func less(a, b DesignReport) bool {
+	if a.After.ASP != b.After.ASP {
+		return a.After.ASP < b.After.ASP
+	}
+	return a.COA > b.COA
+}
+
+// CostModel monetizes a design per month (the paper's §V economics
+// extension).
+type CostModel struct {
+	// ServerPerMonth is the operating cost of one server.
+	ServerPerMonth float64
+	// DowntimePerHour is the cost of one lost full-capacity hour.
+	DowntimePerHour float64
+	// BreachLoss is the loss of a successful compromise, weighted by the
+	// after-patch ASP.
+	BreachLoss float64
+}
+
+// MonthlyCost evaluates the model for one design report (720 h month).
+func (c CostModel) MonthlyCost(r DesignReport) float64 {
+	return c.ServerPerMonth*float64(r.Servers) +
+		c.DowntimePerHour*(1-r.COA)*720 +
+		c.BreachLoss*r.After.ASP
+}
+
+// PatchPriority is one entry of the vulnerability ranking: the
+// network-level effect of patching a single CVE everywhere it occurs.
+type PatchPriority struct {
+	// CVE identifies the vulnerability.
+	CVE string
+	// Hosts lists the server instances carrying it.
+	Hosts []string
+	// RiskReduction is the drop in network risk (ASP x AIM) from patching
+	// it alone; the ranking key.
+	RiskReduction float64
+	// ASPAfter is the network attack success probability with only this
+	// CVE patched.
+	ASPAfter float64
+}
+
+// RankPatches ranks the unpatched vulnerabilities of a design by the
+// network-level risk reduction of patching each alone — the
+// prioritization an administrator needs when the whole critical set does
+// not fit one maintenance window.
+func (s *CaseStudy) RankPatches(name string, dns, web, app, db int) ([]PatchPriority, error) {
+	d := paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}
+	top, err := paperdata.Topology(d)
+	if err != nil {
+		return nil, err
+	}
+	vdb := paperdata.VulnDB()
+	h, err := harm.Build(harm.BuildInput{
+		Topology:    top,
+		Trees:       paperdata.Trees(vdb),
+		TargetRoles: []string{paperdata.RoleDB},
+	})
+	if err != nil {
+		return nil, err
+	}
+	candidates, err := h.RankPatchCandidates(harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PatchPriority, len(candidates))
+	for i, c := range candidates {
+		out[i] = PatchPriority{
+			CVE:           c.Ref,
+			Hosts:         c.Hosts,
+			RiskReduction: c.RiskReduction,
+			ASPAfter:      c.After.ASP,
+		}
+	}
+	return out, nil
+}
+
+// MeanTimeToServiceOutage returns the expected hours from an all-up start
+// until some tier of the design first loses all servers to patching.
+func (s *CaseStudy) MeanTimeToServiceOutage(name string, dns, web, app, db int) (float64, error) {
+	d := paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	agg := s.eval.AggregatedRates()
+	var nm availability.NetworkModel
+	for _, role := range paperdata.Roles() {
+		a := agg[role]
+		nm.Tiers = append(nm.Tiers, availability.Tier{
+			Name: role, N: d.Counts()[role], LambdaEq: a.LambdaEq, MuEq: a.MuEq,
+		})
+	}
+	return availability.MeanTimeToServiceDown(nm)
+}
+
+// EnumerateDesigns evaluates every design with 1..maxPerTier replicas per
+// tier (the larger design spaces of §V).
+func (s *CaseStudy) EnumerateDesigns(maxPerTier int) ([]DesignReport, error) {
+	if maxPerTier < 1 {
+		return nil, fmt.Errorf("redpatch: maxPerTier must be at least 1, have %d", maxPerTier)
+	}
+	results, err := s.eval.EvaluateAll(redundancy.EnumerateDesigns(maxPerTier))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DesignReport, len(results))
+	for i, r := range results {
+		out[i] = convert(r)
+	}
+	return out, nil
+}

@@ -1,0 +1,305 @@
+package redpatch
+
+import (
+	"sync"
+	"testing"
+
+	"redpatch/internal/mathx"
+)
+
+// A case study solves four server SRNs; share one across the facade
+// tests and benchmarks.
+var (
+	studyOnce sync.Once
+	study     *CaseStudy
+	studyErr  error
+	designs   []DesignReport
+)
+
+func caseStudy(t testing.TB) (*CaseStudy, []DesignReport) {
+	studyOnce.Do(func() {
+		study, studyErr = NewCaseStudy()
+		if studyErr != nil {
+			return
+		}
+		designs, studyErr = study.PaperDesigns()
+	})
+	if studyErr != nil {
+		t.Fatal(studyErr)
+	}
+	return study, designs
+}
+
+func TestBaseNetworkHeadlineNumbers(t *testing.T) {
+	s, _ := caseStudy(t)
+	base, err := s.BaseNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Servers != 6 {
+		t.Errorf("servers = %d, want 6", base.Servers)
+	}
+	if !mathx.AlmostEqual(base.COA, 0.99707, 1e-4) {
+		t.Errorf("COA = %v, want ≈ 0.99707 (paper Table VI)", base.COA)
+	}
+	if !mathx.AlmostEqual(base.Before.AIM, 52.2, 1e-9) || !mathx.AlmostEqual(base.After.AIM, 42.2, 1e-9) {
+		t.Errorf("AIM = %v -> %v, want 52.2 -> 42.2 (paper Table II)", base.Before.AIM, base.After.AIM)
+	}
+	if base.Before.NoEV != 26 || base.After.NoEV != 11 {
+		t.Errorf("NoEV = %d -> %d, want 26 -> 11", base.Before.NoEV, base.After.NoEV)
+	}
+	if base.Before.NoAP != 8 || base.After.NoAP != 4 {
+		t.Errorf("NoAP = %d -> %d, want 8 -> 4", base.Before.NoAP, base.After.NoAP)
+	}
+	if base.Description != "1 DNS + 2 WEB + 2 APP + 1 DB" {
+		t.Errorf("Description = %q", base.Description)
+	}
+}
+
+func TestPaperDesignOrder(t *testing.T) {
+	_, ds := caseStudy(t)
+	if len(ds) != 5 {
+		t.Fatalf("designs = %d, want 5", len(ds))
+	}
+	want := []string{"D1", "D2", "D3", "D4", "D5"}
+	for i, d := range ds {
+		if d.Name != want[i] {
+			t.Errorf("design %d = %s, want %s", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestPatchRatesTable5(t *testing.T) {
+	s, _ := caseStudy(t)
+	rates := s.PatchRates()
+	tests := []struct {
+		role     string
+		wantMTTR float64
+		wantDown float64 // minutes
+	}{
+		{role: "dns", wantMTTR: 0.6667, wantDown: 40},
+		{role: "web", wantMTTR: 0.5834, wantDown: 35},
+		{role: "app", wantMTTR: 1.0001, wantDown: 60},
+		{role: "db", wantMTTR: 0.9167, wantDown: 55},
+	}
+	for _, tt := range tests {
+		r, ok := rates[tt.role]
+		if !ok {
+			t.Fatalf("missing rates for %s", tt.role)
+		}
+		if !mathx.AlmostEqual(r.MTTPHours, 720, 1e-9) {
+			t.Errorf("%s MTTP = %v, want 720", tt.role, r.MTTPHours)
+		}
+		if !mathx.AlmostEqual(r.MTTRHours, tt.wantMTTR, 1e-4) {
+			t.Errorf("%s MTTR = %v, want ≈ %v", tt.role, r.MTTRHours, tt.wantMTTR)
+		}
+		if r.DowntimeMinutes != tt.wantDown {
+			t.Errorf("%s downtime = %v min, want %v", tt.role, r.DowntimeMinutes, tt.wantDown)
+		}
+	}
+}
+
+func TestDecisionRegions(t *testing.T) {
+	_, ds := caseStudy(t)
+
+	region1 := FilterScatter(ds, ScatterBounds{MaxASP: 0.2, MinCOA: 0.9962})
+	if len(region1) != 2 || region1[0].Name != "D4" || region1[1].Name != "D5" {
+		t.Errorf("Eq.3 region 1 = %v, want [D4 D5]", names(region1))
+	}
+	region2 := FilterScatter(ds, ScatterBounds{MaxASP: 0.1, MinCOA: 0.9961})
+	if len(region2) != 1 || region2[0].Name != "D2" {
+		t.Errorf("Eq.3 region 2 = %v, want [D2]", names(region2))
+	}
+
+	multi1 := FilterMulti(ds, MultiBounds{MaxASP: 0.2, MaxNoEV: 9, MaxNoAP: 2, MaxNoEP: 1, MinCOA: 0.9962})
+	if len(multi1) != 1 || multi1[0].Name != "D4" {
+		t.Errorf("Eq.4 region 1 = %v, want [D4]", names(multi1))
+	}
+	multi2 := FilterMulti(ds, MultiBounds{MaxASP: 0.1, MaxNoEV: 7, MaxNoAP: 1, MaxNoEP: 1, MinCOA: 0.9961})
+	if len(multi2) != 1 || multi2[0].Name != "D2" {
+		t.Errorf("Eq.4 region 2 = %v, want [D2]", names(multi2))
+	}
+}
+
+func names(ds []DesignReport) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+func TestPareto(t *testing.T) {
+	_, ds := caseStudy(t)
+	front := Pareto(ds)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, d := range front {
+		if d.Name == "D1" {
+			t.Error("D1 is dominated by D2")
+		}
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i-1].After.ASP > front[i].After.ASP {
+			t.Error("front must be sorted by ASP")
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	_, ds := caseStudy(t)
+	c := CostModel{ServerPerMonth: 200, DowntimePerHour: 500, BreachLoss: 20000}
+	got := c.MonthlyCost(ds[0])
+	want := 200*4 + 500*(1-ds[0].COA)*720 + 20000*ds[0].After.ASP
+	if !mathx.AlmostEqual(got, want, 1e-9) {
+		t.Errorf("MonthlyCost = %v, want %v", got, want)
+	}
+}
+
+func TestEvaluateDesignValidation(t *testing.T) {
+	s, _ := caseStudy(t)
+	if _, err := s.EvaluateDesign("bad", 0, 1, 1, 1); err == nil {
+		t.Error("zero-replica tier should fail")
+	}
+}
+
+func TestEnumerateDesigns(t *testing.T) {
+	s, _ := caseStudy(t)
+	all, err := s.EnumerateDesigns(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 16 {
+		t.Fatalf("enumerated %d designs, want 16", len(all))
+	}
+	if _, err := s.EnumerateDesigns(0); err == nil {
+		t.Error("maxPerTier 0 should fail")
+	}
+}
+
+func TestRankPatches(t *testing.T) {
+	s, _ := caseStudy(t)
+	ranked, err := s.RankPatches("base", 1, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 15 {
+		t.Fatalf("ranked = %d, want 15 distinct CVEs (CVE-2016-4997 is shared)", len(ranked))
+	}
+	if ranked[0].CVE != "CVE-2016-3227" {
+		t.Errorf("top candidate = %s, want CVE-2016-3227 (removes the DNS stepping stone)", ranked[0].CVE)
+	}
+	for _, r := range ranked {
+		if r.CVE == "CVE-2016-4997" && len(r.Hosts) != 3 {
+			t.Errorf("CVE-2016-4997 hosts = %v, want app1, app2, db1", r.Hosts)
+		}
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].RiskReduction < ranked[i].RiskReduction-1e-12 {
+			t.Error("ranking must be sorted by descending risk reduction")
+		}
+	}
+	if _, err := s.RankPatches("bad", 0, 1, 1, 1); err == nil {
+		t.Error("invalid design should fail")
+	}
+}
+
+func TestMeanTimeToServiceOutage(t *testing.T) {
+	s, _ := caseStudy(t)
+	base, err := s.MeanTimeToServiceOutage("base", 1, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base < 300 || base > 360 {
+		t.Errorf("base MTTF = %v h, want just under 360 (two singleton tiers patch monthly)", base)
+	}
+	hardened, err := s.MeanTimeToServiceOutage("hard", 2, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hardened <= 10*base {
+		t.Errorf("full redundancy MTTF = %v, expected far above %v", hardened, base)
+	}
+	if _, err := s.MeanTimeToServiceOutage("bad", 0, 1, 1, 1); err == nil {
+		t.Error("invalid design should fail")
+	}
+}
+
+// TestReplicaMonotonicity is an end-to-end property over the whole
+// pipeline: adding one replica to any tier never decreases the service
+// availability and never decreases the after-patch attack surface
+// (ASP, NoEV). COA itself is deliberately NOT monotone — extra replicas
+// add patch downtime as well as capacity — which is the paper's whole
+// trade-off.
+func TestReplicaMonotonicity(t *testing.T) {
+	s, _ := caseStudy(t)
+	baseCases := [][4]int{
+		{1, 1, 1, 1},
+		{1, 2, 2, 1},
+		{2, 1, 2, 2},
+	}
+	for _, counts := range baseCases {
+		base, err := s.EvaluateDesign("base", counts[0], counts[1], counts[2], counts[3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tier := 0; tier < 4; tier++ {
+			grown := counts
+			grown[tier]++
+			next, err := s.EvaluateDesign("grown", grown[0], grown[1], grown[2], grown[3])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next.ServiceAvailability < base.ServiceAvailability-1e-12 {
+				t.Errorf("%v -> %v: service availability fell %v -> %v",
+					counts, grown, base.ServiceAvailability, next.ServiceAvailability)
+			}
+			if next.After.ASP < base.After.ASP-1e-12 {
+				t.Errorf("%v -> %v: after-patch ASP fell %v -> %v",
+					counts, grown, base.After.ASP, next.After.ASP)
+			}
+			if next.After.NoEV < base.After.NoEV {
+				t.Errorf("%v -> %v: after-patch NoEV fell %d -> %d",
+					counts, grown, base.After.NoEV, next.After.NoEV)
+			}
+		}
+	}
+}
+
+func TestCustomConfigPatchAll(t *testing.T) {
+	s, err := NewCaseStudyWithConfig(Config{PatchAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.EvaluateDesign("d1", 1, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.After.NoEV != 0 || r.After.ASP != 0 {
+		t.Errorf("patch-all should clear the attack surface, got %+v", r.After)
+	}
+}
+
+func TestCustomConfigInterval(t *testing.T) {
+	weekly, err := NewCaseStudyWithConfig(Config{PatchIntervalHours: 168})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := weekly.BaseNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := caseStudy(t)
+	rm, err := s.BaseNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.COA >= rm.COA {
+		t.Errorf("weekly patching should cost more availability: %v vs %v", rw.COA, rm.COA)
+	}
+	rates := weekly.PatchRates()
+	if !mathx.AlmostEqual(rates["dns"].MTTPHours, 168, 1e-9) {
+		t.Errorf("weekly MTTP = %v, want 168", rates["dns"].MTTPHours)
+	}
+}
