@@ -8,6 +8,7 @@ package redpatch
 // full reproduction of that table or figure.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -15,10 +16,12 @@ import (
 
 	"redpatch/internal/attacktree"
 	"redpatch/internal/availability"
+	"redpatch/internal/engine"
 	"redpatch/internal/harm"
 	"redpatch/internal/paperdata"
 	"redpatch/internal/patch"
 	"redpatch/internal/queueing"
+	"redpatch/internal/redundancy"
 	"redpatch/internal/sim"
 	"redpatch/internal/srn"
 	"redpatch/internal/vulndb"
@@ -554,3 +557,72 @@ var (
 	paperNMErr  error
 	paperNMOnce sync.Once
 )
+
+// BenchmarkSweepSerial is the pre-engine baseline: the 16-design space
+// (1..2 replicas per tier) evaluated by the serial EvaluateAll loop, no
+// caching, one core.
+func BenchmarkSweepSerial(b *testing.B) {
+	ev, err := redundancy.NewEvaluator(redundancy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	designs := redundancy.EnumerateDesigns(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvaluateAll(designs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the same 16-design space through the
+// engine's worker pool with a cold cache per iteration, so ns/op isolates
+// the fan-out gain over BenchmarkSweepSerial (expect ~no gain on one
+// core, near-linear scaling on multi-core).
+func BenchmarkSweepParallel(b *testing.B) {
+	ev, err := redundancy.NewEvaluator(redundancy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := engine.FullSpace(2)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := engine.New(ev, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Sweep(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCached measures the repeat-sweep path: every design is
+// served from the engine's memo cache, no model is re-solved.
+func BenchmarkSweepCached(b *testing.B) {
+	ev, err := redundancy.NewEvaluator(redundancy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(ev, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := engine.FullSpace(2)
+	ctx := context.Background()
+	if _, err := eng.Sweep(ctx, spec); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	solvesBefore := eng.Stats().Solves
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Sweep(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s := eng.Stats().Solves; s != solvesBefore {
+		b.Fatalf("cached sweep re-solved %d designs", s-solvesBefore)
+	}
+}

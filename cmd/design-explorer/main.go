@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,14 +43,20 @@ func main() {
 }
 
 func run(w io.Writer, maxPerTier int, maxASP, minCOA float64, maxNoEV, maxNoAP, maxNoEP int, cost redpatch.CostModel) error {
+	if maxPerTier < 1 {
+		return fmt.Errorf("design-explorer: -max must be at least 1, have %d", maxPerTier)
+	}
 	study, err := redpatch.NewCaseStudy()
 	if err != nil {
 		return err
 	}
-	designs, err := study.EnumerateDesigns(maxPerTier)
+	// One engine sweep yields the whole space (evaluated concurrently and
+	// memoized) together with its Pareto front.
+	sweep, err := study.Sweep(context.Background(), redpatch.FullSweep(maxPerTier))
 	if err != nil {
 		return err
 	}
+	designs := sweep.Reports
 
 	tbl := report.NewTable(fmt.Sprintf("design space (%d designs, 1..%d replicas per tier)", len(designs), maxPerTier),
 		"design", "servers", "ASP after", "NoEV", "NoAP", "NoEP", "COA", "monthly cost")
@@ -76,7 +83,7 @@ func run(w io.Writer, maxPerTier int, maxASP, minCOA float64, maxNoEV, maxNoAP, 
 	}
 	fmt.Fprintln(w)
 
-	front := redpatch.Pareto(designs)
+	front := sweep.Pareto
 	fmt.Fprintf(w, "Pareto front (minimize ASP, maximize COA): %d design(s)\n", len(front))
 	for _, d := range front {
 		fmt.Fprintf(w, "  %s  (ASP %.4f, COA %.6f)\n", d.Description, d.After.ASP, d.COA)

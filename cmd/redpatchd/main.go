@@ -1,0 +1,315 @@
+// Command redpatchd serves the paper's design-evaluation model over
+// HTTP/JSON: instead of re-running batch CLIs, administrators query a
+// long-lived daemon whose concurrent engine caches every solved design,
+// so repeated and overlapping what-if sweeps are answered without
+// re-solving the HARM/CTMC models.
+//
+// Usage:
+//
+//	redpatchd [-addr :8080] [-workers N] [-max-designs N] [-max-replicas N]
+//	          [-critical-threshold s] [-patch-all] [-interval-hours h]
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness plus engine cache counters
+//	POST /api/v1/evaluate  one design: {"name","dns","web","app","db"}
+//	POST /api/v1/sweep     a design space with optional bounds
+//	POST /api/v1/pareto    like sweep, returning only the Pareto front
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"redpatch"
+
+	"redpatch/internal/paperdata"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "evaluation worker pool size; 0 selects GOMAXPROCS")
+		maxSweep  = flag.Int("max-designs", 4096, "largest design space one sweep request may enumerate")
+		maxRepl   = flag.Int("max-replicas", 16, "largest per-tier replica count any request may ask for (model size grows polynomially in it)")
+		threshold = flag.Float64("critical-threshold", 0, "CVSS base-score patch threshold; 0 selects the paper's 8.0")
+		patchAll  = flag.Bool("patch-all", false, "patch every vulnerability regardless of score")
+		interval  = flag.Float64("interval-hours", 0, "patch cadence in hours; 0 selects the paper's monthly 720")
+	)
+	flag.Parse()
+
+	study, err := redpatch.NewCaseStudyWithConfig(redpatch.Config{
+		CriticalThreshold:  *threshold,
+		PatchAll:           *patchAll,
+		PatchIntervalHours: *interval,
+		Workers:            *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(study, *maxSweep, *maxRepl).handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("redpatchd listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("redpatchd shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// server carries the shared case study behind the HTTP handlers.
+type server struct {
+	study       *redpatch.CaseStudy
+	maxDesigns  int
+	maxReplicas int
+	started     time.Time
+}
+
+func newServer(study *redpatch.CaseStudy, maxDesigns, maxReplicas int) *server {
+	if maxDesigns < 1 {
+		maxDesigns = 4096
+	}
+	if maxReplicas < 1 {
+		maxReplicas = 16
+	}
+	return &server{study: study, maxDesigns: maxDesigns, maxReplicas: maxReplicas, started: time.Now()}
+}
+
+// checkReplicas bounds per-tier replica counts: the CTMC state space and
+// attack-path count grow polynomially in them, so an unbounded request
+// is a denial of service against the shared daemon.
+func (s *server) checkReplicas(counts ...int) error {
+	for _, n := range counts {
+		if n > s.maxReplicas {
+			return fmt.Errorf("%d replicas in one tier, above the %d cap", n, s.maxReplicas)
+		}
+	}
+	return nil
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /api/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /api/v1/pareto", s.handlePareto)
+	return mux
+}
+
+// statsJSON mirrors redpatch.EngineStats in the wire format.
+type statsJSON struct {
+	Solves uint64 `json:"solves"`
+	Hits   uint64 `json:"hits"`
+}
+
+func (s *server) stats() statsJSON {
+	st := s.study.EngineStats()
+	return statsJSON{Solves: st.Solves, Hits: st.Hits}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"engine":        s.stats(),
+	})
+}
+
+// evaluateRequest is the /api/v1/evaluate body.
+type evaluateRequest struct {
+	Name string `json:"name"`
+	DNS  int    `json:"dns"`
+	Web  int    `json:"web"`
+	App  int    `json:"app"`
+	DB   int    `json:"db"`
+}
+
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		req.Name = paperdata.DefaultName(req.DNS, req.Web, req.App, req.DB)
+	}
+	if req.DNS < 1 || req.Web < 1 || req.App < 1 || req.DB < 1 {
+		writeError(w, http.StatusBadRequest, errors.New("every tier needs at least one server"))
+		return
+	}
+	if err := s.checkReplicas(req.DNS, req.Web, req.App, req.DB); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The request is validated: anything EvaluateDesign reports now is a
+	// model-solve fault, a server error rather than a client one.
+	report, err := s.study.EvaluateDesign(req.Name, req.DNS, req.Web, req.App, req.DB)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+// rangeJSON is one tier's replica range.
+type rangeJSON struct {
+	Min int `json:"min"`
+	Max int `json:"max"`
+}
+
+// sweepRequest is the /api/v1/sweep and /api/v1/pareto body. Either set
+// maxPerTier (all four tiers sweep 1..N) or per-tier ranges; explicit
+// ranges win.
+type sweepRequest struct {
+	MaxPerTier int        `json:"maxPerTier,omitempty"`
+	DNS        *rangeJSON `json:"dns,omitempty"`
+	Web        *rangeJSON `json:"web,omitempty"`
+	App        *rangeJSON `json:"app,omitempty"`
+	DB         *rangeJSON `json:"db,omitempty"`
+	Scatter    *struct {
+		MaxASP float64 `json:"maxAsp"`
+		MinCOA float64 `json:"minCoa"`
+	} `json:"scatter,omitempty"`
+	Multi *struct {
+		MaxASP  float64 `json:"maxAsp"`
+		MaxNoEV int     `json:"maxNoev"`
+		MaxNoAP int     `json:"maxNoap"`
+		MaxNoEP int     `json:"maxNoep"`
+		MinCOA  float64 `json:"minCoa"`
+	} `json:"multi,omitempty"`
+}
+
+func (s *server) sweepRequest(r *http.Request) (redpatch.SweepRequest, error) {
+	var body sweepRequest
+	if err := decodeJSON(r, &body); err != nil {
+		return redpatch.SweepRequest{}, err
+	}
+	var req redpatch.SweepRequest
+	if body.MaxPerTier > 0 {
+		req = redpatch.FullSweep(body.MaxPerTier)
+	}
+	for _, t := range []struct {
+		in  *rangeJSON
+		out *redpatch.SweepRange
+	}{{body.DNS, &req.DNS}, {body.Web, &req.Web}, {body.App, &req.App}, {body.DB, &req.DB}} {
+		if t.in != nil {
+			*t.out = redpatch.SweepRange{Min: t.in.Min, Max: t.in.Max}
+		}
+	}
+	if body.Scatter != nil {
+		req.Scatter = &redpatch.ScatterBounds{MaxASP: body.Scatter.MaxASP, MinCOA: body.Scatter.MinCOA}
+	}
+	if body.Multi != nil {
+		req.Multi = &redpatch.MultiBounds{
+			MaxASP: body.Multi.MaxASP, MaxNoEV: body.Multi.MaxNoEV,
+			MaxNoAP: body.Multi.MaxNoAP, MaxNoEP: body.Multi.MaxNoEP, MinCOA: body.Multi.MinCOA,
+		}
+	}
+	if err := req.Validate(); err != nil {
+		return redpatch.SweepRequest{}, err
+	}
+	// Check both bounds: a range with Max = 0 means "exactly Min", so a
+	// huge Min alone would slip past a Max-only check.
+	if err := s.checkReplicas(req.DNS.Min, req.DNS.Max, req.Web.Min, req.Web.Max,
+		req.App.Min, req.App.Max, req.DB.Min, req.DB.Max); err != nil {
+		return redpatch.SweepRequest{}, err
+	}
+	if n := req.SweepSize(); n > s.maxDesigns {
+		return redpatch.SweepRequest{}, fmt.Errorf("sweep enumerates %d designs, above the %d cap", n, s.maxDesigns)
+	}
+	return req, nil
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := s.sweepRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sum, err := s.study.Sweep(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   sum.Total,
+		"kept":    len(sum.Reports),
+		"reports": sum.Reports,
+		"pareto":  sum.Pareto,
+		"engine":  s.stats(),
+	})
+}
+
+func (s *server) handlePareto(w http.ResponseWriter, r *http.Request) {
+	req, err := s.sweepRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	total, front, err := s.study.SweepPareto(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  total,
+		"pareto": front,
+		"engine": s.stats(),
+	})
+}
+
+// decodeJSON strictly decodes one JSON object from the request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decoding request: trailing data after JSON object")
+	}
+	return nil
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499 // client closed request
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"redpatch"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *server
+	srvErr  error
+)
+
+// testServer shares one daemon across tests: the engine cache is part of
+// what the handlers are expected to exercise.
+func testServer(t *testing.T) *server {
+	t.Helper()
+	srvOnce.Do(func() {
+		var study *redpatch.CaseStudy
+		study, srvErr = redpatch.NewCaseStudyWithConfig(redpatch.Config{Workers: 4})
+		if srvErr != nil {
+			return
+		}
+		srv = newServer(study, 4096, 16)
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srv
+}
+
+func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	h := testServer(t).handler()
+	w := do(t, h, http.MethodGet, "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var body struct {
+		Status string    `json:"status"`
+		Engine statsJSON `json:"engine"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "ok" {
+		t.Fatalf("status = %q", body.Status)
+	}
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	w := do(t, h, http.MethodPost, "/api/v1/evaluate", `{"name":"base","dns":1,"web":2,"app":2,"db":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var rep redpatch.DesignReport
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Servers != 6 || rep.COA < 0.99 || rep.COA > 1 {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.Description != "1 DNS + 2 WEB + 2 APP + 1 DB" {
+		t.Fatalf("description = %q", rep.Description)
+	}
+
+	// A request without a name gets the canonical one.
+	w = do(t, h, http.MethodPost, "/api/v1/evaluate", `{"dns":1,"web":2,"app":2,"db":1}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "1d2w2a1b" {
+		t.Fatalf("name = %q", rep.Name)
+	}
+}
+
+func TestEvaluateRejectsBadRequests(t *testing.T) {
+	h := testServer(t).handler()
+	for name, tc := range map[string]struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		"malformed json":   {http.MethodPost, "/api/v1/evaluate", `{"dns":`, http.StatusBadRequest},
+		"unknown field":    {http.MethodPost, "/api/v1/evaluate", `{"dnss":1}`, http.StatusBadRequest},
+		"trailing garbage": {http.MethodPost, "/api/v1/evaluate", `{"dns":1,"web":1,"app":1,"db":1}{}`, http.StatusBadRequest},
+		"zero replicas":    {http.MethodPost, "/api/v1/evaluate", `{"dns":0,"web":1,"app":1,"db":1}`, http.StatusBadRequest},
+		"wrong type":       {http.MethodPost, "/api/v1/evaluate", `{"dns":"one"}`, http.StatusBadRequest},
+		"huge evaluate":    {http.MethodPost, "/api/v1/evaluate", `{"dns":1000000,"web":1,"app":1,"db":1}`, http.StatusBadRequest},
+		"huge sweep tier":  {http.MethodPost, "/api/v1/sweep", `{"dns":{"min":4000,"max":4000}}`, http.StatusBadRequest},
+		"huge min only":    {http.MethodPost, "/api/v1/sweep", `{"dns":{"min":100,"max":0}}`, http.StatusBadRequest},
+		"GET evaluate":     {http.MethodGet, "/api/v1/evaluate", ``, http.StatusMethodNotAllowed},
+		"POST healthz":     {http.MethodPost, "/healthz", ``, http.StatusMethodNotAllowed},
+		"sweep bad json":   {http.MethodPost, "/api/v1/sweep", `[1,2]`, http.StatusBadRequest},
+		"sweep inverted":   {http.MethodPost, "/api/v1/sweep", `{"dns":{"min":3,"max":1}}`, http.StatusBadRequest},
+		"sweep above cap":  {http.MethodPost, "/api/v1/sweep", `{"maxPerTier":9}`, http.StatusBadRequest},
+		"sweep overflow": {http.MethodPost, "/api/v1/sweep",
+			`{"dns":{"min":1,"max":65536},"web":{"min":1,"max":65536},"app":{"min":1,"max":65536},"db":{"min":1,"max":65536}}`,
+			http.StatusBadRequest},
+		"pareto bad json":   {http.MethodPost, "/api/v1/pareto", `nope`, http.StatusBadRequest},
+		"unknown endpoint":  {http.MethodGet, "/api/v1/nope", ``, http.StatusNotFound},
+		"negative range":    {http.MethodPost, "/api/v1/sweep", `{"dns":{"min":-1,"max":2}}`, http.StatusBadRequest},
+		"sweep wrong shape": {http.MethodPost, "/api/v1/sweep", `{"scatter":{"maxAsp":"high"}}`, http.StatusBadRequest},
+	} {
+		w := do(t, h, tc.method, tc.path, tc.body)
+		if w.Code != tc.wantStatus {
+			t.Errorf("%s: status = %d, want %d (%s)", name, w.Code, tc.wantStatus, w.Body)
+		}
+	}
+}
+
+// sweepResponse is the wire shape of /api/v1/sweep.
+type sweepResponse struct {
+	Total   int                     `json:"total"`
+	Kept    int                     `json:"kept"`
+	Reports []redpatch.DesignReport `json:"reports"`
+	Pareto  []redpatch.DesignReport `json:"pareto"`
+	Engine  statsJSON               `json:"engine"`
+}
+
+// TestSweepFullRangeConcurrently serves the full 1..4 per-tier space (256
+// designs) from several concurrent requests and cross-checks every
+// response against the serial facade, per the acceptance criteria.
+func TestSweepFullRangeConcurrently(t *testing.T) {
+	s := testServer(t)
+	h := s.handler()
+
+	want, err := s.study.EnumerateDesigns(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	responses := make([]sweepResponse, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodPost, "/api/v1/sweep", strings.NewReader(`{"maxPerTier":4}`))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				errs[i] = &httpError{w.Code, w.Body.String()}
+				return
+			}
+			errs[i] = json.Unmarshal(w.Body.Bytes(), &responses[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		r := responses[i]
+		if r.Total != 256 || r.Kept != 256 || len(r.Reports) != 256 {
+			t.Fatalf("client %d: total=%d kept=%d reports=%d, want 256 each", i, r.Total, r.Kept, len(r.Reports))
+		}
+		if !reflect.DeepEqual(r.Reports, want) {
+			t.Fatalf("client %d: sweep reports differ from the serial enumeration", i)
+		}
+		if len(r.Pareto) == 0 {
+			t.Fatalf("client %d: empty Pareto front", i)
+		}
+	}
+
+	// A repeat sweep is all cache: zero new solves.
+	before := s.study.EngineStats()
+	w := do(t, h, http.MethodPost, "/api/v1/sweep", `{"maxPerTier":4}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	after := s.study.EngineStats()
+	if after.Solves != before.Solves {
+		t.Fatalf("repeat sweep performed %d new solves", after.Solves-before.Solves)
+	}
+	if after.Hits < before.Hits+256 {
+		t.Fatalf("repeat sweep recorded %d hits, want >= 256", after.Hits-before.Hits)
+	}
+}
+
+func TestSweepWithBounds(t *testing.T) {
+	h := testServer(t).handler()
+	w := do(t, h, http.MethodPost, "/api/v1/sweep",
+		`{"maxPerTier":2,"scatter":{"maxAsp":0.2,"minCoa":0.9962}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp sweepResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 16 {
+		t.Fatalf("total = %d, want 16", resp.Total)
+	}
+	if resp.Kept == 0 || resp.Kept == 16 {
+		t.Fatalf("kept = %d, want a strict subset", resp.Kept)
+	}
+	for _, r := range resp.Reports {
+		if r.After.ASP > 0.2 || r.COA < 0.9962 {
+			t.Fatalf("report %s violates the bounds", r.Name)
+		}
+	}
+}
+
+func TestSweepPerTierRanges(t *testing.T) {
+	h := testServer(t).handler()
+	w := do(t, h, http.MethodPost, "/api/v1/sweep",
+		`{"dns":{"min":1,"max":1},"web":{"min":1,"max":3},"app":{"min":2,"max":2},"db":{"min":1,"max":1}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp sweepResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 3 || len(resp.Reports) != 3 {
+		t.Fatalf("total = %d, reports = %d, want 3", resp.Total, len(resp.Reports))
+	}
+	for i, name := range []string{"1d1w2a1b", "1d2w2a1b", "1d3w2a1b"} {
+		if resp.Reports[i].Name != name {
+			t.Fatalf("report %d = %q, want %q", i, resp.Reports[i].Name, name)
+		}
+	}
+}
+
+func TestParetoEndpoint(t *testing.T) {
+	s := testServer(t)
+	h := s.handler()
+	w := do(t, h, http.MethodPost, "/api/v1/pareto", `{"maxPerTier":2}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Total  int                     `json:"total"`
+		Pareto []redpatch.DesignReport `json:"pareto"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 16 || len(resp.Pareto) == 0 {
+		t.Fatalf("total = %d, front = %d", resp.Total, len(resp.Pareto))
+	}
+	// The front must be undominated and sorted by ascending ASP.
+	for i, r := range resp.Pareto {
+		if i > 0 && resp.Pareto[i-1].After.ASP > r.After.ASP {
+			t.Fatal("front not sorted by ASP")
+		}
+		for j, s := range resp.Pareto {
+			if i == j {
+				continue
+			}
+			if s.After.ASP <= r.After.ASP && s.COA >= r.COA &&
+				(s.After.ASP < r.After.ASP || s.COA > r.COA) {
+				t.Fatalf("front member %s dominated by %s", r.Name, s.Name)
+			}
+		}
+	}
+}
+
+type httpError struct {
+	code int
+	body string
+}
+
+func (e *httpError) Error() string {
+	var b bytes.Buffer
+	b.WriteString("unexpected status ")
+	b.WriteString(http.StatusText(e.code))
+	b.WriteString(": ")
+	b.WriteString(e.body)
+	return b.String()
+}

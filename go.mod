@@ -1,0 +1,3 @@
+module redpatch
+
+go 1.24

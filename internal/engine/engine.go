@@ -1,0 +1,168 @@
+// Package engine is the concurrent design-space evaluation engine on top
+// of internal/redundancy: a bounded worker pool fans design evaluations
+// out across cores, a keyed memo cache remembers every solved design
+// (design tuple + policy fingerprint → Result), and in-flight deduplication
+// ensures overlapping sweeps never solve the same HARM/CTMC models twice —
+// the first caller computes, every concurrent duplicate waits for that one
+// result. Sweeps (sweep.go) enumerate per-tier redundancy ranges and stream
+// results through administrator-bound and Pareto filters incrementally, so
+// large spaces never accumulate rejected results in memory.
+//
+// One Engine wraps one evaluator and therefore one patch policy and
+// schedule; construct one engine per policy configuration (the redpatch
+// facade does this per CaseStudy) and set Options.Fingerprint when several
+// engines could ever share keys downstream.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"redpatch/internal/paperdata"
+	"redpatch/internal/redundancy"
+	"redpatch/internal/workpool"
+)
+
+// DesignEvaluator is the evaluation dependency: anything that can score
+// one redundancy design on both paper axes. *redundancy.Evaluator is the
+// production implementation; tests substitute counting or blocking fakes.
+// Implementations must be safe for concurrent use.
+type DesignEvaluator interface {
+	Evaluate(paperdata.Design) (redundancy.Result, error)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the evaluation pool; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Fingerprint distinguishes the wrapped evaluator's policy
+	// configuration in cache keys. An engine never shares its cache, so
+	// this only matters for operators that aggregate stats or persist
+	// results across engines; empty is fine otherwise.
+	Fingerprint string
+}
+
+// Stats counts the engine's cache behaviour. Solves is the number of
+// underlying evaluator calls; Hits the number of requests served from the
+// cache, including requests that waited on an in-flight solve of the same
+// design instead of starting their own.
+type Stats struct {
+	Solves uint64
+	Hits   uint64
+}
+
+// key identifies a solved model: the design tuple under the engine's
+// policy fingerprint. The design name is deliberately excluded — renaming
+// a design does not change its models.
+type key struct {
+	fp                string
+	dns, web, app, db int
+}
+
+// entry is one singleflight cache slot. ready is closed once res/err are
+// final; concurrent callers for the same key block on it instead of
+// re-solving.
+type entry struct {
+	ready chan struct{}
+	res   redundancy.Result
+	err   error
+}
+
+// Engine is a concurrent, memoizing design evaluator. It is safe for
+// concurrent use.
+type Engine struct {
+	eval    DesignEvaluator
+	workers int
+	fp      string
+
+	mu    sync.Mutex
+	cache map[key]*entry
+
+	solves atomic.Uint64
+	hits   atomic.Uint64
+}
+
+// New builds an engine over eval. eval must be safe for concurrent use
+// (see redundancy.Evaluator's documented guarantee).
+func New(eval DesignEvaluator, opts Options) (*Engine, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("engine: nil evaluator")
+	}
+	return &Engine{
+		eval:    eval,
+		workers: opts.Workers,
+		fp:      opts.Fingerprint,
+		cache:   make(map[key]*entry),
+	}, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (g *Engine) Stats() Stats {
+	return Stats{Solves: g.solves.Load(), Hits: g.hits.Load()}
+}
+
+// Evaluate scores one design, serving repeats from the cache. Concurrent
+// calls for the same design tuple share a single solve. The returned
+// result carries the requested design (name included) even on a cache
+// hit.
+func (g *Engine) Evaluate(d paperdata.Design) (redundancy.Result, error) {
+	if err := d.Validate(); err != nil {
+		return redundancy.Result{}, err
+	}
+	k := key{fp: g.fp, dns: d.DNS, web: d.Web, app: d.App, db: d.DB}
+
+	g.mu.Lock()
+	e, ok := g.cache[k]
+	if !ok {
+		e = &entry{ready: make(chan struct{})}
+		g.cache[k] = e
+		g.mu.Unlock()
+		g.solves.Add(1)
+		func() {
+			// The entry must reach a final state no matter how the
+			// evaluator exits: a panic that skipped close(ready) would
+			// wedge this key forever, hanging every later caller on the
+			// channel. Surface it as the entry's error instead.
+			defer func() {
+				if p := recover(); p != nil {
+					e.err = fmt.Errorf("engine: evaluator panic for design %s: %v", d, p)
+				}
+				if e.err != nil {
+					// Errors are not memoized: waiters already holding
+					// this entry see it, but later callers retry rather
+					// than read a possibly transient failure forever.
+					g.mu.Lock()
+					delete(g.cache, k)
+					g.mu.Unlock()
+				}
+				close(e.ready)
+			}()
+			e.res, e.err = g.eval.Evaluate(d)
+		}()
+	} else {
+		g.mu.Unlock()
+		g.hits.Add(1)
+		<-e.ready
+	}
+
+	if e.err != nil {
+		return redundancy.Result{}, e.err
+	}
+	r := e.res
+	r.Design = d
+	return r, nil
+}
+
+// EvaluateAll scores every design on the worker pool and returns results
+// in input order — the concurrent, cached counterpart of
+// redundancy.(*Evaluator).EvaluateAll, with identical output.
+func (g *Engine) EvaluateAll(designs []paperdata.Design) ([]redundancy.Result, error) {
+	return workpool.Map(g.workers, designs, func(_ int, d paperdata.Design) (redundancy.Result, error) {
+		r, err := g.Evaluate(d)
+		if err != nil {
+			return redundancy.Result{}, fmt.Errorf("engine: design %s: %w", d, err)
+		}
+		return r, nil
+	})
+}

@@ -1,0 +1,385 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redpatch/internal/paperdata"
+	"redpatch/internal/redundancy"
+)
+
+// sharedEvaluator builds the paper evaluator once; solving the four
+// per-role SRNs dominates construction cost.
+var (
+	evalOnce sync.Once
+	evalRef  *redundancy.Evaluator
+	evalErr  error
+)
+
+func paperEvaluator(t testing.TB) *redundancy.Evaluator {
+	t.Helper()
+	evalOnce.Do(func() {
+		evalRef, evalErr = redundancy.NewEvaluator(redundancy.Options{})
+	})
+	if evalErr != nil {
+		t.Fatal(evalErr)
+	}
+	return evalRef
+}
+
+// countingEvaluator wraps a DesignEvaluator and counts Evaluate calls;
+// optionally it blocks every call until released, to force overlap.
+type countingEvaluator struct {
+	inner DesignEvaluator
+	calls atomic.Int64
+	gate  chan struct{}
+}
+
+func (c *countingEvaluator) Evaluate(d paperdata.Design) (redundancy.Result, error) {
+	c.calls.Add(1)
+	if c.gate != nil {
+		<-c.gate
+	}
+	return c.inner.Evaluate(d)
+}
+
+func TestParallelSweepMatchesSerialEvaluateAll(t *testing.T) {
+	ev := paperEvaluator(t)
+	designs := redundancy.EnumerateDesigns(3) // 81 designs
+	serial, err := ev.EvaluateAll(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := New(ev, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := g.EvaluateAll(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel EvaluateAll differs from the serial reference")
+	}
+
+	sweep, err := g.Sweep(context.Background(), FullSpace(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Total != len(designs) {
+		t.Fatalf("Total = %d, want %d", sweep.Total, len(designs))
+	}
+	if !reflect.DeepEqual(serial, sweep.Kept) {
+		t.Fatal("parallel sweep differs from the serial reference")
+	}
+	if want := redundancy.ParetoFront(serial); !reflect.DeepEqual(sweep.Front, want) {
+		t.Fatalf("incremental Pareto front differs from ParetoFront: got %d, want %d members", len(sweep.Front), len(want))
+	}
+}
+
+func TestRepeatSweepServedFromCache(t *testing.T) {
+	c := &countingEvaluator{inner: paperEvaluator(t)}
+	g, err := New(c, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FullSpace(2) // 16 designs
+	if _, err := g.Sweep(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.calls.Load(); n != 16 {
+		t.Fatalf("first sweep solved %d designs, want 16", n)
+	}
+	first, err := g.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := g.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.calls.Load(); n != 16 {
+		t.Fatalf("repeat sweeps performed %d extra solves", n-16)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached sweep differs from the original")
+	}
+	st := g.Stats()
+	if st.Solves != 16 || st.Hits != 32 {
+		t.Fatalf("stats = %+v, want 16 solves / 32 hits", st)
+	}
+
+	// An overlapping sweep only solves the designs it adds to the space.
+	if _, err := g.Sweep(context.Background(), FullSpace(3)); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.calls.Load(); n != 81 {
+		t.Fatalf("overlapping sweep brought total solves to %d, want 81", n)
+	}
+}
+
+func TestConcurrentDuplicatesShareOneSolve(t *testing.T) {
+	c := &countingEvaluator{inner: paperEvaluator(t), gate: make(chan struct{})}
+	g, err := New(c, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := paperdata.BaseDesign()
+	const callers = 8
+	results := make([]redundancy.Result, callers)
+	errs := make([]error, callers)
+	var started, done sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			started.Done()
+			defer done.Done()
+			results[i], errs[i] = g.Evaluate(d)
+		}(i)
+	}
+	started.Wait()
+	close(c.gate) // release the single in-flight solve
+	done.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatal("concurrent duplicate returned a different result")
+		}
+	}
+	if n := c.calls.Load(); n != 1 {
+		t.Fatalf("%d callers performed %d solves, want 1", callers, n)
+	}
+}
+
+func TestEvaluateStampsRequestedName(t *testing.T) {
+	g, err := New(paperEvaluator(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := g.Evaluate(paperdata.Design{Name: "first", DNS: 1, Web: 2, App: 2, DB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Evaluate(paperdata.Design{Name: "second", DNS: 1, Web: 2, App: 2, DB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Design.Name != "first" || b.Design.Name != "second" {
+		t.Fatalf("names = %q, %q", a.Design.Name, b.Design.Name)
+	}
+	if a.COA != b.COA || !reflect.DeepEqual(a.After, b.After) {
+		t.Fatal("same tuple under different names produced different metrics")
+	}
+	if st := g.Stats(); st.Solves != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 solve / 1 hit", st)
+	}
+}
+
+func TestEvaluateRejectsInvalidDesign(t *testing.T) {
+	g, err := New(paperEvaluator(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Evaluate(paperdata.Design{Name: "bad", DNS: 0, Web: 1, App: 1, DB: 1}); err == nil {
+		t.Fatal("zero-replica design accepted")
+	}
+	if st := g.Stats(); st.Solves != 0 {
+		t.Fatalf("invalid design reached the evaluator: %+v", st)
+	}
+}
+
+func TestSweepBoundsFilterIncrementally(t *testing.T) {
+	ev := paperEvaluator(t)
+	g, err := New(ev, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FullSpace(2)
+	spec.Scatter = &redundancy.ScatterBounds{MaxASP: 0.2, MinCOA: 0.9962}
+	res, err := g.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := ev.EvaluateAll(redundancy.EnumerateDesigns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := redundancy.Filter(all, *spec.Scatter)
+	if !reflect.DeepEqual(res.Kept, want) {
+		t.Fatalf("kept %d results, want %d", len(res.Kept), len(want))
+	}
+	if res.Total != 16 {
+		t.Fatalf("Total = %d, want 16", res.Total)
+	}
+	for _, r := range res.Front {
+		if !spec.Scatter.Satisfied(r) {
+			t.Fatalf("front member %s violates the bounds", r.Design)
+		}
+	}
+}
+
+func TestSweepParetoMatchesSweep(t *testing.T) {
+	g, err := New(paperEvaluator(t), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := g.Sweep(context.Background(), FullSpace(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, front, err := g.SweepPareto(context.Background(), FullSpace(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != full.Total {
+		t.Fatalf("total = %d, want %d", total, full.Total)
+	}
+	if !reflect.DeepEqual(front, full.Front) {
+		t.Fatalf("front-only sweep returned %d members, Sweep returned %d", len(front), len(full.Front))
+	}
+}
+
+func TestSweepFuncStreams(t *testing.T) {
+	g, err := New(paperEvaluator(t), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed int
+	total, err := g.SweepFunc(context.Background(), FullSpace(2), func(redundancy.Result) error {
+		streamed++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16 || streamed != 16 {
+		t.Fatalf("total = %d, streamed = %d, want 16/16", total, streamed)
+	}
+
+	sentinel := errors.New("enough")
+	if _, err := g.SweepFunc(context.Background(), FullSpace(2), func(redundancy.Result) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}
+
+func TestSweepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g, err := New(paperEvaluator(t), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Sweep(ctx, FullSpace(4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepSpecValidate(t *testing.T) {
+	bad := SweepSpec{DNS: Range{Min: 3, Max: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if err := (SweepSpec{}).Validate(); err != nil {
+		t.Fatalf("zero spec rejected: %v", err)
+	}
+	if n := (SweepSpec{}).Size(); n != 1 {
+		t.Fatalf("zero spec size = %d, want 1", n)
+	}
+	if n := FullSpace(4).Size(); n != 256 {
+		t.Fatalf("FullSpace(4) size = %d, want 256", n)
+	}
+	if err := FullSpace(0).Validate(); err == nil {
+		t.Fatal("FullSpace(0) must fail validation, not sweep one design")
+	}
+}
+
+func TestSweepSurfacesEvaluationError(t *testing.T) {
+	failing := evaluatorFunc(func(d paperdata.Design) (redundancy.Result, error) {
+		if d.DNS == 2 && d.Web == 1 && d.App == 1 && d.DB == 1 {
+			return redundancy.Result{}, errors.New("synthetic failure")
+		}
+		return redundancy.Result{Design: d}, nil
+	})
+	g, err := New(failing, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Sweep(context.Background(), FullSpace(2)); err == nil {
+		t.Fatal("evaluation error swallowed")
+	}
+}
+
+type evaluatorFunc func(paperdata.Design) (redundancy.Result, error)
+
+func (f evaluatorFunc) Evaluate(d paperdata.Design) (redundancy.Result, error) { return f(d) }
+
+// TestEvaluatorPanicDoesNotWedgeCacheKey pins the singleflight panic
+// path: a panicking solve must surface as an error and later calls for
+// the same tuple must not block forever on a never-closed ready channel.
+func TestEvaluatorPanicDoesNotWedgeCacheKey(t *testing.T) {
+	g, err := New(evaluatorFunc(func(paperdata.Design) (redundancy.Result, error) {
+		panic("synthetic solver bug")
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := paperdata.BaseDesign()
+	if _, err := g.Evaluate(d); err == nil {
+		t.Fatal("panic not surfaced as an error")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Evaluate(d)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("second call returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Evaluate blocked on the wedged cache key")
+	}
+	// Failures are evicted, not memoized: the second call re-solved.
+	if st := g.Stats(); st.Solves != 2 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 2 solves / 0 hits", st)
+	}
+}
+
+// TestTransientErrorIsNotMemoized pins the eviction of failed entries: a
+// solve that fails once must not poison its design tuple forever.
+func TestTransientErrorIsNotMemoized(t *testing.T) {
+	inner := paperEvaluator(t)
+	var failed atomic.Bool
+	g, err := New(evaluatorFunc(func(d paperdata.Design) (redundancy.Result, error) {
+		if failed.CompareAndSwap(false, true) {
+			return redundancy.Result{}, errors.New("transient failure")
+		}
+		return inner.Evaluate(d)
+	}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := paperdata.BaseDesign()
+	if _, err := g.Evaluate(d); err == nil {
+		t.Fatal("first call should fail")
+	}
+	r, err := g.Evaluate(d)
+	if err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	if r.COA <= 0 {
+		t.Fatalf("implausible retried result: %+v", r)
+	}
+}

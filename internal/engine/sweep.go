@@ -1,0 +1,250 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"redpatch/internal/paperdata"
+	"redpatch/internal/redundancy"
+	"redpatch/internal/workpool"
+)
+
+// Range is an inclusive per-tier replica range. The zero value means
+// "exactly one replica".
+type Range struct {
+	Min, Max int
+}
+
+func (r Range) normalized() Range {
+	if r.Min < 1 {
+		r.Min = 1
+	}
+	if r.Max < r.Min {
+		r.Max = r.Min
+	}
+	return r
+}
+
+func (r Range) size() int { return r.Max - r.Min + 1 }
+
+// SweepSpec describes a design-space sweep: one replica range per tier
+// plus optional administrator bounds. When a bound is set, results
+// failing it are dropped as they arrive and never accumulate.
+type SweepSpec struct {
+	DNS, Web, App, DB Range
+	// Scatter, when non-nil, applies the paper's Eq. 3 bounds.
+	Scatter *redundancy.ScatterBounds
+	// Multi, when non-nil, applies the paper's Eq. 4 bounds.
+	Multi *redundancy.MultiBounds
+}
+
+// FullSpace is the sweep of every design with 1..maxPerTier replicas in
+// every tier, the paper's §V enumeration. maxPerTier < 1 yields a spec
+// that fails Validate — it must not silently shrink to a one-design
+// sweep the way the Max-means-Min sentinel otherwise would.
+func FullSpace(maxPerTier int) SweepSpec {
+	if maxPerTier < 1 {
+		r := Range{Min: 1, Max: -1}
+		return SweepSpec{DNS: r, Web: r, App: r, DB: r}
+	}
+	r := Range{Min: 1, Max: maxPerTier}
+	return SweepSpec{DNS: r, Web: r, App: r, DB: r}
+}
+
+// Validate rejects nonsensical ranges.
+func (s SweepSpec) Validate() error {
+	for _, tr := range []struct {
+		name string
+		r    Range
+	}{{"dns", s.DNS}, {"web", s.Web}, {"app", s.App}, {"db", s.DB}} {
+		if tr.r.Min < 0 || tr.r.Max < 0 {
+			return fmt.Errorf("engine: negative %s range [%d,%d]", tr.name, tr.r.Min, tr.r.Max)
+		}
+		if tr.r.Max != 0 && tr.r.Max < tr.r.Min {
+			return fmt.Errorf("engine: inverted %s range [%d,%d]", tr.name, tr.r.Min, tr.r.Max)
+		}
+	}
+	return nil
+}
+
+// Size is the number of designs the spec enumerates, saturating at
+// math.MaxInt — ranges are request data in redpatchd, and a wrapped
+// product would slip huge spaces past its size cap.
+func (s SweepSpec) Size() int {
+	size := 1
+	for _, r := range []Range{s.DNS, s.Web, s.App, s.DB} {
+		n := r.normalized().size()
+		if size > math.MaxInt/n {
+			return math.MaxInt
+		}
+		size *= n
+	}
+	return size
+}
+
+// Designs enumerates the spec in lexicographic (dns, web, app, db) order
+// with the same naming scheme as redundancy.EnumerateDesigns.
+func (s SweepSpec) Designs() []paperdata.Design {
+	dns, web, app, db := s.DNS.normalized(), s.Web.normalized(), s.App.normalized(), s.DB.normalized()
+	out := make([]paperdata.Design, 0, min(s.Size(), 1<<20))
+	for d := dns.Min; d <= dns.Max; d++ {
+		for w := web.Min; w <= web.Max; w++ {
+			for a := app.Min; a <= app.Max; a++ {
+				for b := db.Min; b <= db.Max; b++ {
+					out = append(out, paperdata.Design{
+						Name: paperdata.DefaultName(d, w, a, b),
+						DNS:  d, Web: w, App: a, DB: b,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// keeps reports whether a result passes every configured bound.
+func (s SweepSpec) keeps(r redundancy.Result) bool {
+	if s.Scatter != nil && !s.Scatter.Satisfied(r) {
+		return false
+	}
+	if s.Multi != nil && !s.Multi.Satisfied(r) {
+		return false
+	}
+	return true
+}
+
+// SweepResult is a completed sweep.
+type SweepResult struct {
+	// Total is the number of designs enumerated (and, on success,
+	// evaluated — possibly from cache).
+	Total int
+	// Kept holds the results passing the spec's bounds, in enumeration
+	// order.
+	Kept []redundancy.Result
+	// Front is the Pareto front (minimize after-patch ASP, maximize COA)
+	// over Kept, sorted by ascending ASP.
+	Front []redundancy.Result
+}
+
+// Sweep evaluates the whole spec on the worker pool and returns the
+// bound-filtered results plus their Pareto front. Rejected results are
+// discarded as they arrive; the front is maintained incrementally, so
+// peak memory is proportional to the kept set, not the space.
+func (g *Engine) Sweep(ctx context.Context, spec SweepSpec) (SweepResult, error) {
+	type kept struct {
+		idx int
+		res redundancy.Result
+	}
+	var ks []kept
+	var front paretoFront
+	total, err := g.sweep(ctx, spec, func(idx int, r redundancy.Result) error {
+		ks = append(ks, kept{idx, r})
+		front.insert(r)
+		return nil
+	})
+	if err != nil {
+		return SweepResult{}, err
+	}
+	// The collector sees completion order; restore enumeration order.
+	sort.Slice(ks, func(i, j int) bool { return ks[i].idx < ks[j].idx })
+	out := SweepResult{Total: total, Kept: make([]redundancy.Result, len(ks))}
+	for i, k := range ks {
+		out.Kept[i] = k.res
+	}
+	// ParetoFront both orders the front canonically and keeps the
+	// dominance semantics in one place.
+	out.Front = redundancy.ParetoFront(front.front)
+	return out, nil
+}
+
+// SweepPareto sweeps the spec but retains only the incremental Pareto
+// front — peak memory is the front, not the kept set. It returns the
+// number of enumerated designs and the front sorted by ascending ASP.
+func (g *Engine) SweepPareto(ctx context.Context, spec SweepSpec) (int, []redundancy.Result, error) {
+	var front paretoFront
+	total, err := g.sweep(ctx, spec, func(_ int, r redundancy.Result) error {
+		front.insert(r)
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return total, redundancy.ParetoFront(front.front), nil
+}
+
+// SweepFunc streams every result passing the spec's bounds to fn as it
+// completes (completion order, not enumeration order). fn runs on a
+// single collector goroutine, so it needs no locking; returning an error
+// cancels the sweep. The total number of enumerated designs is returned.
+func (g *Engine) SweepFunc(ctx context.Context, spec SweepSpec, fn func(redundancy.Result) error) (int, error) {
+	return g.sweep(ctx, spec, func(_ int, r redundancy.Result) error { return fn(r) })
+}
+
+// sweep is the shared fan-out/collect loop: pool workers evaluate
+// designs through the cache (workpool.Stream), the collector applies
+// bound filtering and hands passing results (with their enumeration
+// index) to emit.
+func (g *Engine) sweep(ctx context.Context, spec SweepSpec, emit func(int, redundancy.Result) error) (int, error) {
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	designs := spec.Designs()
+	var firstErr error
+	workpool.Stream(g.workers, designs,
+		func(_ int, d paperdata.Design) (redundancy.Result, error) {
+			if err := ctx.Err(); err != nil {
+				return redundancy.Result{}, err
+			}
+			r, err := g.Evaluate(d)
+			if err != nil {
+				err = fmt.Errorf("engine: design %s: %w", d, err)
+			}
+			return r, err
+		},
+		func(idx int, r redundancy.Result, err error) bool {
+			if err != nil {
+				firstErr = err
+				return false
+			}
+			if spec.keeps(r) {
+				if err := emit(idx, r); err != nil {
+					firstErr = err
+					return false
+				}
+			}
+			return true
+		})
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return len(designs), nil
+}
+
+// paretoFront maintains a (minimize ASP, maximize COA) front under
+// insertion: dominated newcomers are rejected, newcomers evict the
+// members they dominate.
+type paretoFront struct {
+	front []redundancy.Result
+}
+
+func (p *paretoFront) insert(r redundancy.Result) {
+	// keep compacts in place. The early return below cannot corrupt the
+	// front: if some member dominates r, then (by transitivity of
+	// dominance) no earlier member was dominated by r, so nothing has
+	// been dropped and every write so far was an identity write.
+	keep := p.front[:0]
+	for _, s := range p.front {
+		if redundancy.Dominates(s, r) {
+			return // r dominated by an existing member; front unchanged
+		}
+		if !redundancy.Dominates(r, s) {
+			keep = append(keep, s)
+		}
+	}
+	p.front = append(keep, r)
+}

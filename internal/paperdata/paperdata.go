@@ -257,6 +257,13 @@ func (d Design) Counts() map[string]int {
 // Total returns the number of servers in the design.
 func (d Design) Total() int { return d.DNS + d.Web + d.App + d.DB }
 
+// DefaultName renders the canonical compact name of a design tuple
+// ("1d2w2a1b") — the one naming scheme shared by design enumeration and
+// the evaluation service.
+func DefaultName(dns, web, app, db int) string {
+	return fmt.Sprintf("%dd%dw%da%db", dns, web, app, db)
+}
+
 // String renders the design in the paper's notation.
 func (d Design) String() string {
 	return fmt.Sprintf("%d DNS + %d WEB + %d APP + %d DB", d.DNS, d.Web, d.App, d.DB)

@@ -16,18 +16,29 @@ import (
 	"redpatch/internal/paperdata"
 	"redpatch/internal/patch"
 	"redpatch/internal/vulndb"
+	"redpatch/internal/workpool"
 )
 
 // Evaluator evaluates redundancy designs for one case study: a
 // vulnerability dataset, per-role attack trees, a patch policy and
 // schedule, and the HARM evaluation options. Lower-layer availability
 // models are solved once per role and cached.
+//
+// An Evaluator is safe for concurrent use after NewEvaluator returns:
+// every field is read-only from then on, harm.Build clones the shared
+// attack-tree templates before touching them, vulndb.DB lookups are plain
+// map reads, and each Evaluate call builds its own topology, HARM and
+// network model. The one caveat is the vulnerability database itself —
+// callers must not mutate a DB (Add/UnmarshalJSON) that a live Evaluator
+// reads. The concurrent engine (internal/engine) relies on this
+// guarantee.
 type Evaluator struct {
 	db       *vulndb.DB
 	trees    map[string]*attacktree.Tree
 	policy   patch.Policy
 	schedule patch.Schedule
 	evalOpts harm.EvalOptions
+	workers  int
 
 	agg   map[string]availability.AggregatedRates
 	plans map[string]patch.Plan
@@ -48,6 +59,10 @@ type Options struct {
 	// configuration closest to the paper's published ASP values (see
 	// DESIGN.md §3).
 	Eval *harm.EvalOptions
+	// Workers bounds the goroutines EvaluateAll fans out across; the
+	// default of 1 keeps it a deterministic serial loop (the engine in
+	// internal/engine layers caching and wider pools on top).
+	Workers int
 }
 
 // NewEvaluator builds an evaluator and solves the per-role availability
@@ -76,6 +91,10 @@ func NewEvaluator(opts Options) (*Evaluator, error) {
 	}
 	if opts.Eval != nil {
 		e.evalOpts = *opts.Eval
+	}
+	e.workers = 1
+	if opts.Workers > 0 {
+		e.workers = opts.Workers
 	}
 
 	for _, role := range paperdata.Roles() {
@@ -185,17 +204,19 @@ func (e *Evaluator) Evaluate(d paperdata.Design) (Result, error) {
 	return res, nil
 }
 
-// EvaluateAll evaluates a list of designs in order.
+// EvaluateAll evaluates a list of designs and returns results in input
+// order. It delegates to the engine's worker-pool primitive
+// (internal/workpool); with the default Options.Workers of 1 it is the
+// serial reference loop, with more workers the designs evaluate
+// concurrently with identical output.
 func (e *Evaluator) EvaluateAll(designs []paperdata.Design) ([]Result, error) {
-	out := make([]Result, 0, len(designs))
-	for _, d := range designs {
+	return workpool.Map(e.workers, designs, func(_ int, d paperdata.Design) (Result, error) {
 		r, err := e.Evaluate(d)
 		if err != nil {
-			return nil, fmt.Errorf("redundancy: design %s: %w", d, err)
+			return Result{}, fmt.Errorf("redundancy: design %s: %w", d, err)
 		}
-		out = append(out, r)
-	}
-	return out, nil
+		return r, nil
+	})
 }
 
 // ScatterBounds are the administrator bounds of the paper's Eq. 3:
@@ -246,20 +267,24 @@ func Filter(results []Result, b Bound) []Result {
 	return out
 }
 
+// Dominates reports whether a dominates b on the (minimize after-patch
+// ASP, maximize COA) plane: a.ASP <= b.ASP and a.COA >= b.COA with at
+// least one strict. ParetoFront and the engine's incremental front both
+// apply this one predicate.
+func Dominates(a, b Result) bool {
+	return a.After.ASP <= b.After.ASP && a.COA >= b.COA &&
+		(a.After.ASP < b.After.ASP || a.COA > b.COA)
+}
+
 // ParetoFront returns the designs not dominated on the
-// (minimize after-patch ASP, maximize COA) plane: r dominates s when
-// r.ASP <= s.ASP and r.COA >= s.COA with at least one strict. The result
-// is sorted by ascending ASP.
+// (minimize after-patch ASP, maximize COA) plane, sorted by ascending
+// ASP.
 func ParetoFront(results []Result) []Result {
 	var front []Result
 	for i, r := range results {
 		dominated := false
 		for j, s := range results {
-			if i == j {
-				continue
-			}
-			if s.After.ASP <= r.After.ASP && s.COA >= r.COA &&
-				(s.After.ASP < r.After.ASP || s.COA > r.COA) {
+			if i != j && Dominates(s, r) {
 				dominated = true
 				break
 			}
@@ -332,7 +357,7 @@ func EnumerateDesigns(maxPerTier int) []paperdata.Design {
 			for app := 1; app <= maxPerTier; app++ {
 				for db := 1; db <= maxPerTier; db++ {
 					out = append(out, paperdata.Design{
-						Name: fmt.Sprintf("%dd%dw%da%db", dns, web, app, db),
+						Name: paperdata.DefaultName(dns, web, app, db),
 						DNS:  dns, Web: web, App: app, DB: db,
 					})
 				}

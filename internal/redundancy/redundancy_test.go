@@ -1,6 +1,8 @@
 package redundancy
 
 import (
+	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -299,5 +301,71 @@ func TestMaxPathStrategyInsensitiveToRedundancy(t *testing.T) {
 	}
 	if !mathx.AlmostEqual(r1.After.ASP, r3.After.ASP, 1e-12) {
 		t.Errorf("max-path ASP should not change with redundancy: %v vs %v", r1.After.ASP, r3.After.ASP)
+	}
+}
+
+// TestEvaluatorSafeForConcurrentUse exercises the documented guarantee the
+// engine relies on: one Evaluator shared by many goroutines, each
+// evaluating designs, must produce exactly the serial results (run under
+// -race to verify the absence of data races, not just agreement).
+func TestEvaluatorSafeForConcurrentUse(t *testing.T) {
+	e, _ := evaluator(t)
+	designs := EnumerateDesigns(2)
+	serial := make([]Result, len(designs))
+	for i, d := range designs {
+		r, err := e.Evaluate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, d := range designs {
+				r, err := e.Evaluate(d)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !reflect.DeepEqual(r, serial[i]) {
+					errs[g] = fmt.Errorf("design %s: concurrent result differs", d)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEvaluateAllParallelMatchesSerial pins EvaluateAll's delegation to
+// the worker pool: any worker count returns the serial results.
+func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
+	e, _ := evaluator(t)
+	designs := EnumerateDesigns(2)
+	serial, err := e.EvaluateAll(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEvaluator(Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.EvaluateAll(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, serial) {
+		t.Fatal("parallel EvaluateAll differs from serial")
 	}
 }

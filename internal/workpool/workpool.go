@@ -1,0 +1,132 @@
+// Package workpool is the bounded fan-out primitive under the design
+// evaluation engine: a fixed number of worker goroutines draining a
+// slice, either collecting results in input order (Map) or handing them
+// to a collector as they complete (Stream).
+// redundancy.(*Evaluator).EvaluateAll delegates to Map and the engine's
+// sweeps to Stream, so serial and concurrent evaluation share one pool
+// and differ only in worker count.
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Clamp normalizes a worker count: non-positive selects GOMAXPROCS, and
+// the count never exceeds the number of items (n <= 0 leaves it alone).
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// Map applies fn to every item with at most workers goroutines and
+// returns the results in input order. fn receives the item index and the
+// item. On error, Map stops handing out new items, waits for in-flight
+// calls, and returns the recorded error with the lowest index together
+// with a nil slice. workers <= 0 selects GOMAXPROCS; workers == 1 is
+// exactly the serial left-to-right loop.
+func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return []R{}, nil
+	}
+	workers = Clamp(workers, n)
+
+	out := make([]R, n)
+	if workers == 1 {
+		for i, it := range items {
+			r, err := fn(i, it)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stream applies fn to every item with at most workers goroutines and
+// hands each outcome to emit in completion order. emit runs on the
+// calling goroutine only, so it needs no locking; returning false stops
+// the stream — no new items are handed out, in-flight calls finish and
+// their outcomes are discarded. Stream returns once every worker has
+// exited. workers <= 0 selects GOMAXPROCS.
+func Stream[T, R any](workers int, items []T, fn func(int, T) (R, error), emit func(idx int, r R, err error) bool) {
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	workers = Clamp(workers, n)
+
+	type outcome struct {
+		idx int
+		r   R
+		err error
+	}
+	ch := make(chan outcome, workers)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stop.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				ch <- outcome{idx: i, r: r, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	stopped := false
+	for o := range ch {
+		if !stopped && !emit(o.idx, o.r, o.err) {
+			stopped = true
+			stop.Store(true)
+		}
+	}
+}

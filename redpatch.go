@@ -18,11 +18,13 @@
 package redpatch
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"redpatch/internal/attacktree"
 	"redpatch/internal/availability"
+	"redpatch/internal/engine"
 	"redpatch/internal/harm"
 	"redpatch/internal/paperdata"
 	"redpatch/internal/patch"
@@ -86,9 +88,13 @@ type PatchRates struct {
 }
 
 // CaseStudy is the paper's example enterprise network, ready to evaluate
-// redundancy designs against.
+// redundancy designs against. Every evaluation goes through a concurrent
+// memoizing engine (internal/engine), so repeated and overlapping queries
+// for the same design tuple are served from cache; a CaseStudy is safe
+// for concurrent use.
 type CaseStudy struct {
 	eval *redundancy.Evaluator
+	eng  *engine.Engine
 }
 
 // NewCaseStudy builds the paper's case study: the Table I vulnerability
@@ -110,6 +116,27 @@ type Config struct {
 	PatchAll bool
 	// PatchIntervalHours is the patch cadence (default 720, i.e. monthly).
 	PatchIntervalHours float64
+	// Workers bounds the evaluation worker pool; <= 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// fingerprint distinguishes the policy configuration in engine cache
+// keys. It is computed over the resolved values, not the raw fields, so
+// Config{} and an explicit Config{CriticalThreshold: 8, PatchIntervalHours: 720}
+// fingerprint identically — they build the same policy.
+func (c Config) fingerprint() string {
+	interval := c.PatchIntervalHours
+	if interval <= 0 {
+		interval = 720
+	}
+	if c.PatchAll {
+		return fmt.Sprintf("all,interval=%g", interval)
+	}
+	thr := c.CriticalThreshold
+	if thr <= 0 {
+		thr = 8.0
+	}
+	return fmt.Sprintf("thr=%g,interval=%g", thr, interval)
 }
 
 // NewCaseStudyWithConfig builds the case study under a custom patch
@@ -130,14 +157,19 @@ func NewCaseStudyWithConfig(cfg Config) (*CaseStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CaseStudy{eval: e}, nil
+	eng, err := engine.New(e, engine.Options{Workers: cfg.Workers, Fingerprint: cfg.fingerprint()})
+	if err != nil {
+		return nil, err
+	}
+	return &CaseStudy{eval: e, eng: eng}, nil
 }
 
 // EvaluateDesign evaluates a redundancy design given per-tier replica
-// counts (each at least 1).
+// counts (each at least 1). Repeat evaluations of the same tuple are
+// served from the engine cache.
 func (s *CaseStudy) EvaluateDesign(name string, dns, web, app, db int) (DesignReport, error) {
 	d := paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}
-	r, err := s.eval.Evaluate(d)
+	r, err := s.eng.Evaluate(d)
 	if err != nil {
 		return DesignReport{}, err
 	}
@@ -147,7 +179,7 @@ func (s *CaseStudy) EvaluateDesign(name string, dns, web, app, db int) (DesignRe
 // PaperDesigns evaluates the five design choices of the paper's §IV in
 // order (D1..D5).
 func (s *CaseStudy) PaperDesigns() ([]DesignReport, error) {
-	results, err := s.eval.EvaluateAll(paperdata.Designs())
+	results, err := s.eng.EvaluateAll(paperdata.Designs())
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +193,7 @@ func (s *CaseStudy) PaperDesigns() ([]DesignReport, error) {
 // BaseNetwork evaluates the paper's §III case-study network
 // (1 DNS + 2 WEB + 2 APP + 1 DB), whose COA the paper reports as 0.99707.
 func (s *CaseStudy) BaseNetwork() (DesignReport, error) {
-	r, err := s.eval.Evaluate(paperdata.BaseDesign())
+	r, err := s.eng.Evaluate(paperdata.BaseDesign())
 	if err != nil {
 		return DesignReport{}, err
 	}
@@ -379,12 +411,12 @@ func (s *CaseStudy) MeanTimeToServiceOutage(name string, dns, web, app, db int) 
 }
 
 // EnumerateDesigns evaluates every design with 1..maxPerTier replicas per
-// tier (the larger design spaces of §V).
+// tier (the larger design spaces of §V), concurrently and cached.
 func (s *CaseStudy) EnumerateDesigns(maxPerTier int) ([]DesignReport, error) {
 	if maxPerTier < 1 {
 		return nil, fmt.Errorf("redpatch: maxPerTier must be at least 1, have %d", maxPerTier)
 	}
-	results, err := s.eval.EvaluateAll(redundancy.EnumerateDesigns(maxPerTier))
+	results, err := s.eng.EvaluateAll(redundancy.EnumerateDesigns(maxPerTier))
 	if err != nil {
 		return nil, err
 	}
@@ -393,4 +425,135 @@ func (s *CaseStudy) EnumerateDesigns(maxPerTier int) ([]DesignReport, error) {
 		out[i] = convert(r)
 	}
 	return out, nil
+}
+
+// SweepRange is an inclusive per-tier replica range; the zero value means
+// "exactly one replica".
+type SweepRange struct {
+	Min, Max int
+}
+
+// SweepRequest describes a design-space sweep: a replica range per tier
+// plus optional administrator bounds. Designs failing a configured bound
+// are dropped as they are evaluated, never accumulated.
+type SweepRequest struct {
+	DNS, Web, App, DB SweepRange
+	// Scatter, when non-nil, applies the Eq. 3 bounds.
+	Scatter *ScatterBounds
+	// Multi, when non-nil, applies the Eq. 4 bounds.
+	Multi *MultiBounds
+}
+
+// FullSweep requests every design with 1..maxPerTier replicas per tier.
+// maxPerTier < 1 yields a request that fails Validate (and therefore
+// Sweep) instead of silently sweeping a single design.
+func FullSweep(maxPerTier int) SweepRequest {
+	spec := engine.FullSpace(maxPerTier)
+	return SweepRequest{
+		DNS: SweepRange(spec.DNS),
+		Web: SweepRange(spec.Web),
+		App: SweepRange(spec.App),
+		DB:  SweepRange(spec.DB),
+	}
+}
+
+func (r SweepRequest) spec() engine.SweepSpec {
+	spec := engine.SweepSpec{
+		DNS: engine.Range(r.DNS),
+		Web: engine.Range(r.Web),
+		App: engine.Range(r.App),
+		DB:  engine.Range(r.DB),
+	}
+	if r.Scatter != nil {
+		spec.Scatter = &redundancy.ScatterBounds{MaxASP: r.Scatter.MaxASP, MinCOA: r.Scatter.MinCOA}
+	}
+	if r.Multi != nil {
+		spec.Multi = &redundancy.MultiBounds{
+			MaxASP: r.Multi.MaxASP, MaxNoEV: r.Multi.MaxNoEV,
+			MaxNoAP: r.Multi.MaxNoAP, MaxNoEP: r.Multi.MaxNoEP, MinCOA: r.Multi.MinCOA,
+		}
+	}
+	return spec
+}
+
+// SweepSize returns the number of designs a request enumerates, without
+// evaluating any.
+func (r SweepRequest) SweepSize() int { return r.spec().Size() }
+
+// Validate rejects nonsensical replica ranges (negative or inverted).
+func (r SweepRequest) Validate() error { return r.spec().Validate() }
+
+// SweepSummary is a completed sweep.
+type SweepSummary struct {
+	// Total is the number of designs enumerated and evaluated (possibly
+	// from cache).
+	Total int
+	// Reports are the designs passing the request's bounds, in
+	// lexicographic (dns, web, app, db) enumeration order.
+	Reports []DesignReport
+	// Pareto is the (minimize after-patch ASP, maximize COA) front over
+	// Reports, sorted by ascending ASP.
+	Pareto []DesignReport
+}
+
+// Sweep evaluates the requested design space on the engine's worker pool
+// and returns the bound-filtered reports plus their Pareto front. The
+// context cancels an in-flight sweep.
+func (s *CaseStudy) Sweep(ctx context.Context, req SweepRequest) (SweepSummary, error) {
+	res, err := s.eng.Sweep(ctx, req.spec())
+	if err != nil {
+		return SweepSummary{}, err
+	}
+	out := SweepSummary{
+		Total:   res.Total,
+		Reports: make([]DesignReport, len(res.Kept)),
+		Pareto:  make([]DesignReport, len(res.Front)),
+	}
+	for i, r := range res.Kept {
+		out.Reports[i] = convert(r)
+	}
+	for i, r := range res.Front {
+		out.Pareto[i] = convert(r)
+	}
+	return out, nil
+}
+
+// SweepPareto evaluates the requested design space but returns only its
+// Pareto front (plus the enumerated-design count) — for callers that do
+// not need the full kept set.
+func (s *CaseStudy) SweepPareto(ctx context.Context, req SweepRequest) (int, []DesignReport, error) {
+	total, front, err := s.eng.SweepPareto(ctx, req.spec())
+	if err != nil {
+		return 0, nil, err
+	}
+	out := make([]DesignReport, len(front))
+	for i, r := range front {
+		out[i] = convert(r)
+	}
+	return total, out, nil
+}
+
+// SweepEach streams every report passing the request's bounds to fn as
+// designs finish evaluating (completion order). fn runs on one collector
+// goroutine; returning an error cancels the sweep. The total number of
+// enumerated designs is returned.
+func (s *CaseStudy) SweepEach(ctx context.Context, req SweepRequest, fn func(DesignReport) error) (int, error) {
+	return s.eng.SweepFunc(ctx, req.spec(), func(r redundancy.Result) error {
+		return fn(convert(r))
+	})
+}
+
+// EngineStats reports the evaluation engine's cache behaviour: Solves is
+// the number of full model evaluations performed, Hits the number of
+// requests served from the memo cache (including requests that joined an
+// in-flight solve of the same design).
+type EngineStats struct {
+	Solves uint64
+	Hits   uint64
+}
+
+// EngineStats returns a snapshot of the case study's cache counters.
+func (s *CaseStudy) EngineStats() EngineStats {
+	st := s.eng.Stats()
+	return EngineStats{Solves: st.Solves, Hits: st.Hits}
 }

@@ -1,6 +1,8 @@
 package redpatch
 
 import (
+	"context"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -301,5 +303,84 @@ func TestCustomConfigInterval(t *testing.T) {
 	rates := weekly.PatchRates()
 	if !mathx.AlmostEqual(rates["dns"].MTTPHours, 168, 1e-9) {
 		t.Errorf("weekly MTTP = %v, want 168", rates["dns"].MTTPHours)
+	}
+}
+
+// TestSweepMatchesEnumerate pins the engine-backed sweep surface to the
+// batch enumeration it supersedes.
+func TestSweepMatchesEnumerate(t *testing.T) {
+	s, _ := caseStudy(t)
+	want, err := s.EnumerateDesigns(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := s.Sweep(context.Background(), FullSweep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 16 {
+		t.Fatalf("Total = %d, want 16", sum.Total)
+	}
+	if !reflect.DeepEqual(sum.Reports, want) {
+		t.Fatal("sweep reports differ from EnumerateDesigns")
+	}
+	if !reflect.DeepEqual(sum.Pareto, Pareto(want)) {
+		t.Fatal("sweep Pareto front differs from Pareto()")
+	}
+}
+
+// TestSweepBoundsAndStats checks incremental bound filtering plus the
+// cache counters behind it.
+func TestSweepBoundsAndStats(t *testing.T) {
+	s, _ := caseStudy(t)
+	req := FullSweep(2)
+	req.Scatter = &ScatterBounds{MaxASP: 0.2, MinCOA: 0.9962}
+	sum, err := s.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.EnumerateDesigns(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := FilterScatter(all, *req.Scatter); !reflect.DeepEqual(sum.Reports, want) {
+		t.Fatalf("bounded sweep kept %d, want %d", len(sum.Reports), len(want))
+	}
+
+	before := s.EngineStats()
+	if _, err := s.Sweep(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	after := s.EngineStats()
+	if after.Solves != before.Solves {
+		t.Fatalf("repeat sweep performed %d new solves", after.Solves-before.Solves)
+	}
+	if after.Hits < before.Hits+16 {
+		t.Fatalf("repeat sweep hit the cache %d times, want >= 16", after.Hits-before.Hits)
+	}
+}
+
+// TestSweepEachStreams checks the streaming surface.
+func TestSweepEachStreams(t *testing.T) {
+	s, _ := caseStudy(t)
+	seen := make(map[string]bool)
+	total, err := s.SweepEach(context.Background(), FullSweep(2), func(r DesignReport) error {
+		seen[r.Name] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 16 || len(seen) != 16 {
+		t.Fatalf("total = %d, streamed = %d, want 16/16", total, len(seen))
+	}
+}
+
+// TestSweepRejectsInvalidRange checks request validation.
+func TestSweepRejectsInvalidRange(t *testing.T) {
+	s, _ := caseStudy(t)
+	req := SweepRequest{DNS: SweepRange{Min: 3, Max: 1}}
+	if _, err := s.Sweep(context.Background(), req); err == nil {
+		t.Fatal("inverted range accepted")
 	}
 }
