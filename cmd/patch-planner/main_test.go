@@ -33,8 +33,10 @@ func TestRunTopClamped(t *testing.T) {
 	if err := run(&buf, 1, 1, 1, 1, "dns", 60, 99); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), "top 15 patches") {
-		t.Error("top should clamp to the number of distinct CVEs")
+	// The default study ranks the critical policy's selected set: the 9
+	// distinct CVEs with base score > 8.0.
+	if !strings.Contains(buf.String(), "top 9 patches") {
+		t.Error("top should clamp to the number of policy-selected CVEs")
 	}
 }
 

@@ -7,14 +7,25 @@
 // Usage:
 //
 //	redpatchd [-addr :8080] [-workers N] [-max-designs N] [-max-replicas N]
+//	          [-max-tiers N] [-max-scenarios N]
 //	          [-critical-threshold s] [-patch-all] [-interval-hours h]
 //
 // Endpoints:
 //
 //	GET  /healthz          liveness plus engine cache counters
-//	POST /api/v1/evaluate  one design: {"name","dns","web","app","db"}
-//	POST /api/v1/sweep     a design space with optional bounds
+//	POST /api/v1/evaluate  one classic design: {"name","dns","web","app","db"}
+//	POST /api/v1/sweep     a classic design space with optional bounds
 //	POST /api/v1/pareto    like sweep, returning only the Pareto front
+//
+//	GET    /api/v2/scenarios        list registered scenarios
+//	POST   /api/v2/scenarios        register a (policy, schedule) scenario
+//	DELETE /api/v2/scenarios/{name} delete a scenario
+//	POST   /api/v2/evaluate         one role-keyed spec, per scenario
+//	POST   /api/v2/sweep            a role-keyed sweep (variant sets allowed)
+//	POST   /api/v2/pareto           like sweep, Pareto front only
+//	POST   /api/v2/sweep/stream     the sweep as flushed NDJSON chunks
+//	POST   /api/v2/rank-patches     policy-aware single-patch ranking
+//	POST   /api/v2/plan-campaign    maintenance-window campaign planning
 package main
 
 import (
@@ -37,13 +48,15 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "evaluation worker pool size; 0 selects GOMAXPROCS")
-		maxSweep  = flag.Int("max-designs", 4096, "largest design space one sweep request may enumerate")
-		maxRepl   = flag.Int("max-replicas", 16, "largest per-tier replica count any request may ask for (model size grows polynomially in it)")
-		threshold = flag.Float64("critical-threshold", 0, "CVSS base-score patch threshold; 0 selects the paper's 8.0")
-		patchAll  = flag.Bool("patch-all", false, "patch every vulnerability regardless of score")
-		interval  = flag.Float64("interval-hours", 0, "patch cadence in hours; 0 selects the paper's monthly 720")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "evaluation worker pool size; 0 selects GOMAXPROCS")
+		maxSweep     = flag.Int("max-designs", 4096, "largest design space one sweep request may enumerate")
+		maxRepl      = flag.Int("max-replicas", 16, "largest per-tier replica count any request may ask for (model size grows polynomially in it)")
+		maxTiers     = flag.Int("max-tiers", 8, "largest number of tier groups one spec may deploy")
+		maxScenarios = flag.Int("max-scenarios", 32, "largest number of registered scenarios")
+		threshold    = flag.Float64("critical-threshold", 0, "CVSS base-score patch threshold; 0 selects the paper's 8.0")
+		patchAll     = flag.Bool("patch-all", false, "patch every vulnerability regardless of score")
+		interval     = flag.Float64("interval-hours", 0, "patch cadence in hours; 0 selects the paper's monthly 720")
 	)
 	flag.Parse()
 
@@ -56,9 +69,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	hs := newServer(study, serverConfig{
+		maxDesigns:   *maxSweep,
+		maxReplicas:  *maxRepl,
+		maxTiers:     *maxTiers,
+		maxScenarios: *maxScenarios,
+		workers:      *workers,
+		defaultConfig: scenarioConfig{
+			CriticalThreshold: *threshold,
+			PatchAll:          *patchAll,
+			IntervalHours:     *interval,
+		},
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(study, *maxSweep, *maxRepl).handler(),
+		Handler:           hs.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -81,22 +106,52 @@ func main() {
 	}
 }
 
-// server carries the shared case study behind the HTTP handlers.
+// serverConfig carries every request cap and registry parameter in one
+// place; zero-value fields select the documented defaults.
+type serverConfig struct {
+	maxDesigns   int // largest enumerable sweep space (default 4096)
+	maxReplicas  int // largest per-tier replica count (default 16)
+	maxTiers     int // largest tier-group count per spec (default 8)
+	maxScenarios int // registry capacity (default 32)
+	workers      int // per-scenario worker pool; 0 = GOMAXPROCS
+	// defaultConfig is reported as the default scenario's configuration.
+	defaultConfig scenarioConfig
+}
+
+// server carries the scenario registry and request caps behind the HTTP
+// handlers. study is the default scenario's case study, which the v1
+// endpoints serve directly.
 type server struct {
 	study       *redpatch.CaseStudy
+	reg         *registry
 	maxDesigns  int
 	maxReplicas int
+	maxTiers    int
+	maxStates   int
 	started     time.Time
 }
 
-func newServer(study *redpatch.CaseStudy, maxDesigns, maxReplicas int) *server {
-	if maxDesigns < 1 {
-		maxDesigns = 4096
+func newServer(study *redpatch.CaseStudy, cfg serverConfig) *server {
+	if cfg.maxDesigns < 1 {
+		cfg.maxDesigns = 4096
 	}
-	if maxReplicas < 1 {
-		maxReplicas = 16
+	if cfg.maxReplicas < 1 {
+		cfg.maxReplicas = 16
 	}
-	return &server{study: study, maxDesigns: maxDesigns, maxReplicas: maxReplicas, started: time.Now()}
+	if cfg.maxTiers < 1 {
+		cfg.maxTiers = 8
+	}
+	return &server{
+		study:       study,
+		reg:         newRegistry(study, cfg.defaultConfig, cfg.workers, cfg.maxScenarios),
+		maxDesigns:  cfg.maxDesigns,
+		maxReplicas: cfg.maxReplicas,
+		maxTiers:    cfg.maxTiers,
+		// The classic space caps at (maxReplicas+1)^4 CTMC states; hold
+		// arbitrary tier chains to the same order of magnitude.
+		maxStates: 1 << 20,
+		started:   time.Now(),
+	}
 }
 
 // checkReplicas bounds per-tier replica counts: the CTMC state space and
@@ -117,6 +172,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /api/v1/pareto", s.handlePareto)
+	mux.HandleFunc("GET /api/v2/scenarios", s.handleScenarioList)
+	mux.HandleFunc("POST /api/v2/scenarios", s.handleScenarioCreate)
+	mux.HandleFunc("DELETE /api/v2/scenarios/{name}", s.handleScenarioDelete)
+	mux.HandleFunc("POST /api/v2/evaluate", s.handleEvaluateV2)
+	mux.HandleFunc("POST /api/v2/sweep", s.handleSweepV2)
+	mux.HandleFunc("POST /api/v2/pareto", s.handleParetoV2)
+	mux.HandleFunc("POST /api/v2/sweep/stream", s.handleSweepStream)
+	mux.HandleFunc("POST /api/v2/rank-patches", s.handleRankPatches)
+	mux.HandleFunc("POST /api/v2/plan-campaign", s.handlePlanCampaign)
 	return mux
 }
 
@@ -136,6 +200,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.started).Seconds(),
 		"engine":        s.stats(),
+		"scenarios":     len(s.reg.list()),
 	})
 }
 

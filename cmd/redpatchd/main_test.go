@@ -29,7 +29,7 @@ func testServer(t *testing.T) *server {
 		if srvErr != nil {
 			return
 		}
-		srv = newServer(study, 4096, 16)
+		srv = newServer(study, serverConfig{maxDesigns: 4096, maxReplicas: 16})
 	})
 	if srvErr != nil {
 		t.Fatal(srvErr)

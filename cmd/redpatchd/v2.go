@@ -1,0 +1,458 @@
+package main
+
+// The /api/v2 surface: role-keyed design specs, heterogeneous sweeps,
+// patch-campaign planning, NDJSON streaming, and a scenario registry so
+// one daemon serves several (dataset, policy, schedule) configurations —
+// tenants or what-if studies — each behind its own memoizing engine.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"redpatch"
+)
+
+// scenarioConfig is the wire shape of a scenario's patch-management
+// configuration; zero-value fields select the paper's defaults.
+type scenarioConfig struct {
+	// CriticalThreshold is the CVSS base-score patch bound (default 8.0).
+	CriticalThreshold float64 `json:"criticalThreshold,omitempty"`
+	// PatchAll patches every vulnerability regardless of score.
+	PatchAll bool `json:"patchAll,omitempty"`
+	// IntervalHours is the patch cadence (default 720, monthly).
+	IntervalHours float64 `json:"intervalHours,omitempty"`
+}
+
+// scenario is one registered (policy, schedule) configuration with its
+// own case study and therefore its own engine and cache.
+type scenario struct {
+	name    string
+	cfg     scenarioConfig
+	study   *redpatch.CaseStudy
+	created time.Time
+}
+
+// scenarioJSON is the wire view of a scenario.
+type scenarioJSON struct {
+	Name    string         `json:"name"`
+	Config  scenarioConfig `json:"config"`
+	Created time.Time      `json:"created"`
+	Engine  statsJSON      `json:"engine"`
+}
+
+func (sc *scenario) json() scenarioJSON {
+	st := sc.study.EngineStats()
+	return scenarioJSON{
+		Name:    sc.name,
+		Config:  sc.cfg,
+		Created: sc.created,
+		Engine:  statsJSON{Solves: st.Solves, Hits: st.Hits},
+	}
+}
+
+// defaultScenario is the always-present scenario built from the daemon's
+// command-line flags; it cannot be deleted.
+const defaultScenario = "default"
+
+var scenarioName = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// registry is the named-scenario store. Reads vastly outnumber writes,
+// so lookups take the read lock; scenario construction (four SRN solves)
+// happens outside the lock with a conflict re-check on insert.
+type registry struct {
+	workers int
+	limit   int
+
+	mu        sync.RWMutex
+	scenarios map[string]*scenario
+}
+
+func newRegistry(def *redpatch.CaseStudy, defCfg scenarioConfig, workers, limit int) *registry {
+	if limit < 1 {
+		limit = 32
+	}
+	return &registry{
+		workers: workers,
+		limit:   limit,
+		scenarios: map[string]*scenario{
+			defaultScenario: {name: defaultScenario, cfg: defCfg, study: def, created: time.Now()},
+		},
+	}
+}
+
+// get resolves a scenario name; empty selects the default.
+func (r *registry) get(name string) (*scenario, error) {
+	if name == "" {
+		name = defaultScenario
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sc, ok := r.scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q", name)
+	}
+	return sc, nil
+}
+
+// list returns every scenario sorted by name.
+func (r *registry) list() []*scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*scenario, 0, len(r.scenarios))
+	for _, sc := range r.scenarios {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// errScenarioExists marks name conflicts so the handler can answer 409
+// instead of 400.
+var errScenarioExists = errors.New("scenario already exists")
+
+// create registers a new scenario, building its case study (and engine)
+// first. Name conflicts and the registry cap are reported as errors.
+func (r *registry) create(name string, cfg scenarioConfig) (*scenario, error) {
+	if !scenarioName.MatchString(name) {
+		return nil, fmt.Errorf("scenario name must match %s", scenarioName)
+	}
+	r.mu.RLock()
+	_, exists := r.scenarios[name]
+	n := len(r.scenarios)
+	r.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("scenario %q: %w", name, errScenarioExists)
+	}
+	if n >= r.limit {
+		return nil, fmt.Errorf("registry full: %d scenarios", n)
+	}
+	study, err := redpatch.NewCaseStudyWithConfig(redpatch.Config{
+		CriticalThreshold:  cfg.CriticalThreshold,
+		PatchAll:           cfg.PatchAll,
+		PatchIntervalHours: cfg.IntervalHours,
+		Workers:            r.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc := &scenario{name: name, cfg: cfg, study: study, created: time.Now()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, raced := r.scenarios[name]; raced {
+		return nil, fmt.Errorf("scenario %q: %w", name, errScenarioExists)
+	}
+	if len(r.scenarios) >= r.limit {
+		return nil, fmt.Errorf("registry full: %d scenarios", len(r.scenarios))
+	}
+	r.scenarios[name] = sc
+	return sc, nil
+}
+
+// remove deletes a scenario; the default is permanent.
+func (r *registry) remove(name string) error {
+	if name == defaultScenario {
+		return fmt.Errorf("the %q scenario cannot be deleted", defaultScenario)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.scenarios[name]; !ok {
+		return fmt.Errorf("unknown scenario %q", name)
+	}
+	delete(r.scenarios, name)
+	return nil
+}
+
+// checkSpec bounds a role-keyed design: tier-group count, per-group
+// replicas, and the upper-layer CTMC state product (every group adds a
+// (replicas+1)-state dimension).
+func (s *server) checkSpec(spec redpatch.DesignSpec) error {
+	if len(spec.Tiers) == 0 {
+		return errors.New("spec has no tiers")
+	}
+	if len(spec.Tiers) > s.maxTiers {
+		return fmt.Errorf("%d tier groups, above the %d cap", len(spec.Tiers), s.maxTiers)
+	}
+	states := 1
+	for _, t := range spec.Tiers {
+		if err := s.checkReplicas(t.Replicas); err != nil {
+			return err
+		}
+		if t.Replicas < 1 {
+			return fmt.Errorf("tier %s needs at least one replica", t.Role)
+		}
+		states *= t.Replicas + 1
+		if states > s.maxStates {
+			return fmt.Errorf("availability model would exceed %d states", s.maxStates)
+		}
+	}
+	return nil
+}
+
+// checkSpecSweep bounds a role-keyed sweep: tier count, per-tier ranges,
+// worst-case state product, and the enumerated-design cap.
+func (s *server) checkSpecSweep(req redpatch.SpecSweepRequest) error {
+	if len(req.Tiers) > s.maxTiers {
+		return fmt.Errorf("%d sweep tiers, above the %d cap", len(req.Tiers), s.maxTiers)
+	}
+	states := 1
+	for _, t := range req.Tiers {
+		if err := s.checkReplicas(t.Min, t.Max); err != nil {
+			return err
+		}
+		worst := t.Max
+		if t.Min > worst {
+			worst = t.Min
+		}
+		if worst < 1 {
+			worst = 1
+		}
+		states *= worst + 1
+		if states > s.maxStates {
+			return fmt.Errorf("availability model would exceed %d states", s.maxStates)
+		}
+	}
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	if n := req.SweepSize(); n > s.maxDesigns {
+		return fmt.Errorf("sweep enumerates %d designs, above the %d cap", n, s.maxDesigns)
+	}
+	return nil
+}
+
+// --- scenario CRUD -------------------------------------------------------
+
+type createScenarioRequest struct {
+	Name   string         `json:"name"`
+	Config scenarioConfig `json:"config"`
+}
+
+func (s *server) handleScenarioList(w http.ResponseWriter, r *http.Request) {
+	scs := s.reg.list()
+	out := make([]scenarioJSON, len(scs))
+	for i, sc := range scs {
+		out[i] = sc.json()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+func (s *server) handleScenarioCreate(w http.ResponseWriter, r *http.Request) {
+	var req createScenarioRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.reg.create(req.Name, req.Config)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errScenarioExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sc.json())
+}
+
+func (s *server) handleScenarioDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.remove(name); err != nil {
+		status := http.StatusNotFound
+		if name == defaultScenario {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- evaluation ----------------------------------------------------------
+
+type evaluateV2Request struct {
+	Scenario string              `json:"scenario,omitempty"`
+	Spec     redpatch.DesignSpec `json:"spec"`
+}
+
+// scenarioSpec decodes, validates and resolves an evaluate-shaped body.
+func (s *server) scenarioSpec(r *http.Request) (*scenario, redpatch.DesignSpec, error) {
+	var req evaluateV2Request
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, redpatch.DesignSpec{}, err
+	}
+	if err := s.checkSpec(req.Spec); err != nil {
+		return nil, redpatch.DesignSpec{}, err
+	}
+	if err := req.Spec.Validate(); err != nil {
+		return nil, redpatch.DesignSpec{}, err
+	}
+	sc, err := s.reg.get(req.Scenario)
+	if err != nil {
+		return nil, redpatch.DesignSpec{}, err
+	}
+	return sc, req.Spec, nil
+}
+
+func (s *server) handleEvaluateV2(w http.ResponseWriter, r *http.Request) {
+	sc, spec, err := s.scenarioSpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	report, err := sc.study.EvaluateSpec(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenario": sc.name, "report": report})
+}
+
+func (s *server) handleRankPatches(w http.ResponseWriter, r *http.Request) {
+	sc, spec, err := s.scenarioSpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ranked, err := sc.study.RankPatchesSpec(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scenario":   sc.name,
+		"design":     spec,
+		"candidates": ranked,
+	})
+}
+
+type campaignRequest struct {
+	Scenario      string  `json:"scenario,omitempty"`
+	Role          string  `json:"role"`
+	WindowMinutes float64 `json:"windowMinutes"`
+}
+
+func (s *server) handlePlanCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.WindowMinutes <= 0 || req.WindowMinutes > 24*60 {
+		writeError(w, http.StatusBadRequest, errors.New("windowMinutes must be in (0, 1440]"))
+		return
+	}
+	sc, err := s.reg.get(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := sc.study.PlanCampaign(req.Role, time.Duration(req.WindowMinutes*float64(time.Minute)))
+	if err != nil {
+		// Unknown roles and impossible windows are request faults.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"scenario": sc.name, "campaign": plan})
+}
+
+// --- sweeps --------------------------------------------------------------
+
+type sweepV2Request struct {
+	Scenario string `json:"scenario,omitempty"`
+	redpatch.SpecSweepRequest
+}
+
+// scenarioSweep decodes, validates and resolves a sweep-shaped body.
+func (s *server) scenarioSweep(r *http.Request) (*scenario, redpatch.SpecSweepRequest, error) {
+	var req sweepV2Request
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, redpatch.SpecSweepRequest{}, err
+	}
+	if err := s.checkSpecSweep(req.SpecSweepRequest); err != nil {
+		return nil, redpatch.SpecSweepRequest{}, err
+	}
+	sc, err := s.reg.get(req.Scenario)
+	if err != nil {
+		return nil, redpatch.SpecSweepRequest{}, err
+	}
+	return sc, req.SpecSweepRequest, nil
+}
+
+func (s *server) handleSweepV2(w http.ResponseWriter, r *http.Request) {
+	sc, req, err := s.scenarioSweep(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sum, err := sc.study.SweepSpec(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	st := sc.study.EngineStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scenario": sc.name,
+		"total":    sum.Total,
+		"kept":     len(sum.Reports),
+		"reports":  sum.Reports,
+		"pareto":   sum.Pareto,
+		"engine":   statsJSON{Solves: st.Solves, Hits: st.Hits},
+	})
+}
+
+func (s *server) handleParetoV2(w http.ResponseWriter, r *http.Request) {
+	sc, req, err := s.scenarioSweep(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	total, front, err := sc.study.SweepSpecPareto(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scenario": sc.name,
+		"total":    total,
+		"pareto":   front,
+	})
+}
+
+// handleSweepStream streams sweep results as NDJSON: one report object
+// per line in completion order, flushed as each design finishes, then a
+// {"done":true,...} trailer. Client disconnects cancel the sweep through
+// the request context. Errors after the first byte cannot change the
+// status code; they surface as an {"error":...} line instead.
+func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	sc, req, err := s.scenarioSweep(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not batch the stream
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // compact: one JSON object per line
+	kept := 0
+	total, err := sc.study.SweepSpecEach(r.Context(), req, func(rep redpatch.DesignReport) error {
+		kept++
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = enc.Encode(map[string]any{"done": true, "scenario": sc.name, "total": total, "kept": kept})
+}

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"redpatch"
+)
+
+const classicSpecJSON = `{"name":"base","tiers":[
+	{"role":"dns","replicas":1},{"role":"web","replicas":2},
+	{"role":"app","replicas":2},{"role":"db","replicas":1}]}`
+
+func TestScenarioCRUD(t *testing.T) {
+	h := testServer(t).handler()
+
+	w := do(t, h, http.MethodPost, "/api/v2/scenarios", `{"name":"crud-weekly","config":{"intervalHours":168}}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", w.Code, w.Body)
+	}
+	var created scenarioJSON
+	if err := json.Unmarshal(w.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Name != "crud-weekly" || created.Config.IntervalHours != 168 {
+		t.Fatalf("created scenario = %+v", created)
+	}
+
+	if w = do(t, h, http.MethodPost, "/api/v2/scenarios", `{"name":"crud-weekly"}`); w.Code != http.StatusConflict {
+		t.Fatalf("duplicate create status = %d", w.Code)
+	}
+	if w = do(t, h, http.MethodPost, "/api/v2/scenarios", `{"name":"no spaces allowed"}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad name status = %d", w.Code)
+	}
+	// An empty name is a validation failure, not a conflict with the
+	// default scenario it would otherwise resolve to.
+	if w = do(t, h, http.MethodPost, "/api/v2/scenarios", `{"name":""}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty name status = %d, want 400", w.Code)
+	}
+
+	w = do(t, h, http.MethodGet, "/api/v2/scenarios", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("list status = %d", w.Code)
+	}
+	var list struct {
+		Scenarios []scenarioJSON `json:"scenarios"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, sc := range list.Scenarios {
+		names[sc.Name] = true
+	}
+	if !names[defaultScenario] || !names["crud-weekly"] {
+		t.Fatalf("list missing scenarios: %v", names)
+	}
+
+	if w = do(t, h, http.MethodDelete, "/api/v2/scenarios/crud-weekly", ""); w.Code != http.StatusNoContent {
+		t.Fatalf("delete status = %d: %s", w.Code, w.Body)
+	}
+	if w = do(t, h, http.MethodDelete, "/api/v2/scenarios/crud-weekly", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("re-delete status = %d", w.Code)
+	}
+	if w = do(t, h, http.MethodDelete, "/api/v2/scenarios/default", ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("default delete status = %d", w.Code)
+	}
+}
+
+// TestEvaluateV2MatchesV1 pins v1/v2 equivalence at the HTTP layer: the
+// v2 report for the classic spec must be identical to the v1 response
+// for the 4-int tuple.
+func TestEvaluateV2MatchesV1(t *testing.T) {
+	h := testServer(t).handler()
+
+	w1 := do(t, h, http.MethodPost, "/api/v1/evaluate", `{"name":"base","dns":1,"web":2,"app":2,"db":1}`)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("v1 status = %d: %s", w1.Code, w1.Body)
+	}
+	w2 := do(t, h, http.MethodPost, "/api/v2/evaluate", `{"spec":`+classicSpecJSON+`}`)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("v2 status = %d: %s", w2.Code, w2.Body)
+	}
+	var v1 redpatch.DesignReport
+	var v2 struct {
+		Scenario string                `json:"scenario"`
+		Report   redpatch.DesignReport `json:"report"`
+	}
+	if err := json.Unmarshal(w1.Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(w2.Body.Bytes(), &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Scenario != defaultScenario {
+		t.Fatalf("scenario = %q", v2.Scenario)
+	}
+	b1, _ := json.Marshal(v1)
+	b2, _ := json.Marshal(v2.Report)
+	if string(b1) != string(b2) {
+		t.Fatalf("v1 and v2 reports differ:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestHeterogeneousSweepV2 is the acceptance sweep: a web tier with two
+// stack variants returns a non-empty Pareto front over four designs.
+func TestHeterogeneousSweepV2(t *testing.T) {
+	h := testServer(t).handler()
+	body := `{"tiers":[
+		{"role":"dns","min":1,"max":1},
+		{"role":"web","min":1,"max":2,"variants":["","webalt"]},
+		{"role":"app","min":1,"max":1},
+		{"role":"db","min":1,"max":1}]}`
+	w := do(t, h, http.MethodPost, "/api/v2/sweep", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Total   int                     `json:"total"`
+		Kept    int                     `json:"kept"`
+		Reports []redpatch.DesignReport `json:"reports"`
+		Pareto  []redpatch.DesignReport `json:"pareto"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 4 || resp.Kept != 4 {
+		t.Fatalf("total = %d, kept = %d, want 4/4", resp.Total, resp.Kept)
+	}
+	if len(resp.Pareto) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	variants := make(map[string]bool)
+	for _, r := range resp.Reports {
+		for _, tier := range r.Spec.Tiers {
+			if tier.Role == "web" {
+				variants[tier.Variant] = true
+			}
+		}
+	}
+	if !variants[""] || !variants["webalt"] {
+		t.Fatalf("sweep did not enumerate both stacks: %v", variants)
+	}
+}
+
+// TestScenariosDivergeOnPolicy is the acceptance registry check: two
+// scenarios with different policies must return different results for
+// the same spec from one daemon process.
+func TestScenariosDivergeOnPolicy(t *testing.T) {
+	h := testServer(t).handler()
+	if w := do(t, h, http.MethodPost, "/api/v2/scenarios", `{"name":"div-patch-all","config":{"patchAll":true}}`); w.Code != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", w.Code, w.Body)
+	}
+	get := func(scenario string) redpatch.DesignReport {
+		t.Helper()
+		body := `{"scenario":"` + scenario + `","spec":` + classicSpecJSON + `}`
+		w := do(t, h, http.MethodPost, "/api/v2/evaluate", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("evaluate(%s) status = %d: %s", scenario, w.Code, w.Body)
+		}
+		var resp struct {
+			Report redpatch.DesignReport `json:"report"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Report
+	}
+	def := get("")
+	all := get("div-patch-all")
+	if all.After.NoEV != 0 || all.After.ASP != 0 {
+		t.Fatalf("patch-all scenario left an attack surface: %+v", all.After)
+	}
+	if def.After.NoEV == all.After.NoEV && def.After.ASP == all.After.ASP {
+		t.Fatal("scenarios with different policies returned identical results")
+	}
+}
+
+func TestRankPatchesEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	w := do(t, h, http.MethodPost, "/api/v2/rank-patches", `{"spec":`+classicSpecJSON+`}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Candidates []redpatch.PatchPriority `json:"candidates"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Candidates) != 9 {
+		t.Fatalf("candidates = %d, want the 9 critical CVEs", len(resp.Candidates))
+	}
+	if resp.Candidates[0].CVE != "CVE-2016-3227" {
+		t.Fatalf("top candidate = %s", resp.Candidates[0].CVE)
+	}
+}
+
+func TestPlanCampaignEndpoint(t *testing.T) {
+	h := testServer(t).handler()
+	w := do(t, h, http.MethodPost, "/api/v2/plan-campaign", `{"role":"app","windowMinutes":35}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Campaign redpatch.CampaignPlan `json:"campaign"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// The app server's 60-minute critical set cannot fit a 35-minute
+	// window in one round.
+	if len(resp.Campaign.Rounds) < 2 {
+		t.Fatalf("rounds = %d, want a multi-round campaign", len(resp.Campaign.Rounds))
+	}
+	for _, round := range resp.Campaign.Rounds {
+		if round.DowntimeMinutes > 35 {
+			t.Fatalf("round exceeds the window: %+v", round)
+		}
+	}
+}
+
+func TestSweepStreamNDJSON(t *testing.T) {
+	h := testServer(t).handler()
+	body := `{"tiers":[
+		{"role":"dns","min":1,"max":1},
+		{"role":"web","min":1,"max":3},
+		{"role":"app","min":1,"max":1},
+		{"role":"db","min":1,"max":1}]}`
+	req := httptest.NewRequest(http.MethodPost, "/api/v2/sweep/stream", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var reports int
+	var done struct {
+		Done  bool `json:"done"`
+		Total int  `json:"total"`
+		Kept  int  `json:"kept"`
+	}
+	sc := bufio.NewScanner(w.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("non-JSON NDJSON line: %s", line)
+		}
+		switch {
+		case probe["error"] != nil:
+			t.Fatalf("stream error: %s", line)
+		case probe["done"] != nil:
+			if err := json.Unmarshal(line, &done); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			reports++
+			var rep redpatch.DesignReport
+			if err := json.Unmarshal(line, &rep); err != nil {
+				t.Fatal(err)
+			}
+			if rep.COA <= 0 || rep.COA > 1 {
+				t.Fatalf("implausible streamed report: %+v", rep)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done || done.Total != 3 || done.Kept != 3 || reports != 3 {
+		t.Fatalf("stream = %d reports, trailer %+v; want 3 reports and done totals 3/3", reports, done)
+	}
+}
+
+func TestV2RejectsBadRequests(t *testing.T) {
+	h := testServer(t).handler()
+	long := strings.Repeat(`{"role":"web","replicas":1},`, 9)
+	for name, tc := range map[string]struct {
+		path, body string
+	}{
+		"unknown scenario":   {"/api/v2/evaluate", `{"scenario":"nope","spec":` + classicSpecJSON + `}`},
+		"empty spec":         {"/api/v2/evaluate", `{"spec":{"tiers":[]}}`},
+		"unknown stack":      {"/api/v2/evaluate", `{"spec":{"tiers":[{"role":"cache","replicas":1}]}}`},
+		"zero replicas":      {"/api/v2/evaluate", `{"spec":{"tiers":[{"role":"web","replicas":0}]}}`},
+		"replica cap":        {"/api/v2/evaluate", `{"spec":{"tiers":[{"role":"web","replicas":1000}]}}`},
+		"tier cap":           {"/api/v2/evaluate", `{"spec":{"tiers":[` + long[:len(long)-1] + `]}}`},
+		"unknown variant":    {"/api/v2/sweep", `{"tiers":[{"role":"web","min":1,"max":1,"variants":["iis"]}]}`},
+		"sweep size cap":     {"/api/v2/sweep", `{"tiers":[{"role":"dns","min":1,"max":9},{"role":"web","min":1,"max":9},{"role":"app","min":1,"max":9},{"role":"db","min":1,"max":9}]}`},
+		"stream bad json":    {"/api/v2/sweep/stream", `nope`},
+		"campaign no window": {"/api/v2/plan-campaign", `{"role":"web"}`},
+		"campaign bad role":  {"/api/v2/plan-campaign", `{"role":"mainframe","windowMinutes":30}`},
+	} {
+		if w := do(t, h, http.MethodPost, tc.path, tc.body); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", name, w.Code, w.Body)
+		}
+	}
+}

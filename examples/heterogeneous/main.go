@@ -1,22 +1,19 @@
 // Heterogeneous: the paper's §V "heterogeneous redundancy" extension.
 // The homogeneous design D3 duplicates the Apache web server; here the
 // second web replica runs a different stack (Nginx on Ubuntu) that shares
-// no vulnerability with the first. Security side: the HARM gets a
-// per-role tree for the alternative stack; availability side: the web
-// tier becomes two grouped sub-tiers with different patch windows.
+// no vulnerability with the first. With the role-keyed DesignSpec API the
+// whole comparison is two facade calls: the mixed tier is just two
+// TierSpecs sharing the "web" role, and the engine handles the per-stack
+// attack trees and patch windows.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"redpatch/internal/attacktree"
-	"redpatch/internal/availability"
-	"redpatch/internal/harm"
-	"redpatch/internal/paperdata"
-	"redpatch/internal/patch"
+	"redpatch"
+
 	"redpatch/internal/report"
-	"redpatch/internal/topology"
 )
 
 func main() {
@@ -25,132 +22,37 @@ func main() {
 	}
 }
 
-// buildTopology assembles 1 DNS + web1 (Apache) + web2 (role webRole2) +
-// 1 APP + 1 DB with the Fig. 2 reachability.
-func buildTopology(webRole2 string) *topology.Topology {
-	top := topology.New()
-	top.MustAddNode(topology.Node{Name: "attacker", Kind: topology.KindAttacker, Subnet: "internet"})
-	top.MustAddNode(topology.Node{Name: "dns1", Kind: topology.KindHost, Subnet: "dmz2", Role: paperdata.RoleDNS})
-	top.MustAddNode(topology.Node{Name: "web1", Kind: topology.KindHost, Subnet: "dmz1", Role: paperdata.RoleWeb})
-	top.MustAddNode(topology.Node{Name: "web2", Kind: topology.KindHost, Subnet: "dmz1", Role: webRole2})
-	top.MustAddNode(topology.Node{Name: "app1", Kind: topology.KindHost, Subnet: "intranet", Role: paperdata.RoleApp})
-	top.MustAddNode(topology.Node{Name: "db1", Kind: topology.KindHost, Subnet: "intranet", Role: paperdata.RoleDB})
-	for _, e := range [][2]string{
-		{"attacker", "dns1"}, {"attacker", "web1"}, {"attacker", "web2"},
-		{"dns1", "web1"}, {"dns1", "web2"},
-		{"web1", "app1"}, {"web2", "app1"}, {"app1", "db1"},
-	} {
-		top.MustConnect(e[0], e[1])
-	}
-	return top
-}
-
-func securityMetrics(webRole2 string) (before, after harm.Metrics, err error) {
-	db := paperdata.VulnDB()
-	trees := paperdata.Trees(db)
-	trees[paperdata.RoleWebAlt] = paperdata.AltWebTree(db)
-	h, err := harm.Build(harm.BuildInput{
-		Topology:    buildTopology(webRole2),
-		Trees:       trees,
-		TargetRoles: []string{paperdata.RoleDB},
-	})
-	if err != nil {
-		return before, after, err
-	}
-	pol := patch.CriticalPolicy()
-	patched, err := h.Patched(func(role string, l *attacktree.Leaf) bool {
-		v, ok := db.ByID(l.Ref)
-		return !ok || !pol.Selects(v)
-	})
-	if err != nil {
-		return before, after, err
-	}
-	opts := harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy}
-	if before, err = h.Evaluate(opts); err != nil {
-		return before, after, err
-	}
-	after, err = patched.Evaluate(opts)
-	return before, after, err
-}
-
-func webTiers(hetero bool) ([]availability.Tier, error) {
-	db := paperdata.VulnDB()
-	mkTier := func(name, role, group string, n int) (availability.Tier, error) {
-		params, _, err := paperdata.ServerParams(db, role, patch.CriticalPolicy(), patch.MonthlySchedule())
-		if err != nil {
-			return availability.Tier{}, err
-		}
-		params.Name = name
-		sol, err := availability.SolveServer(params)
-		if err != nil {
-			return availability.Tier{}, err
-		}
-		agg, err := availability.Aggregate(sol)
-		if err != nil {
-			return availability.Tier{}, err
-		}
-		return availability.Tier{Name: name, Group: group, N: n, LambdaEq: agg.LambdaEq, MuEq: agg.MuEq}, nil
-	}
-	var tiers []availability.Tier
-	dns, err := mkTier("dns", paperdata.RoleDNS, "", 1)
-	if err != nil {
-		return nil, err
-	}
-	tiers = append(tiers, dns)
-	if hetero {
-		webA, err := mkTier("webA", paperdata.RoleWeb, "web", 1)
-		if err != nil {
-			return nil, err
-		}
-		webB, err := mkTier("webB", paperdata.RoleWebAlt, "web", 1)
-		if err != nil {
-			return nil, err
-		}
-		tiers = append(tiers, webA, webB)
-	} else {
-		web, err := mkTier("web", paperdata.RoleWeb, "", 2)
-		if err != nil {
-			return nil, err
-		}
-		tiers = append(tiers, web)
-	}
-	app, err := mkTier("app", paperdata.RoleApp, "", 1)
-	if err != nil {
-		return nil, err
-	}
-	dbt, err := mkTier("db", paperdata.RoleDB, "", 1)
-	if err != nil {
-		return nil, err
-	}
-	tiers = append(tiers, app, dbt)
-	return tiers, nil
-}
-
 func run() error {
+	study, err := redpatch.NewCaseStudy()
+	if err != nil {
+		return err
+	}
+	designs := []struct {
+		label string
+		spec  redpatch.DesignSpec
+	}{
+		{label: "homogeneous", spec: redpatch.ClassicSpec("2x apache", 1, 2, 1, 1)},
+		{label: "heterogeneous", spec: redpatch.DesignSpec{
+			Name: "apache+nginx",
+			Tiers: []redpatch.TierSpec{
+				{Role: "dns", Replicas: 1},
+				{Role: "web", Replicas: 1},
+				{Role: "web", Replicas: 1, Variant: "webalt"},
+				{Role: "app", Replicas: 1},
+				{Role: "db", Replicas: 1},
+			},
+		}},
+	}
+
 	tbl := report.NewTable("homogeneous (2x Apache) vs heterogeneous (Apache + Nginx) web tier",
 		"variant", "ASP after patch", "NoEV after", "COA", "service availability")
-	for _, v := range []struct {
-		label  string
-		role2  string
-		hetero bool
-	}{
-		{label: "homogeneous", role2: paperdata.RoleWeb, hetero: false},
-		{label: "heterogeneous", role2: paperdata.RoleWebAlt, hetero: true},
-	} {
-		_, after, err := securityMetrics(v.role2)
+	for _, d := range designs {
+		r, err := study.EvaluateSpec(d.spec)
 		if err != nil {
 			return err
 		}
-		tiers, err := webTiers(v.hetero)
-		if err != nil {
-			return err
-		}
-		sol, err := availability.SolveNetwork(availability.NetworkModel{Tiers: tiers})
-		if err != nil {
-			return err
-		}
-		tbl.AddRow(v.label, report.F(after.ASP, 4), report.I(after.NoEV),
-			report.F(sol.COA, 6), report.F(sol.ServiceAvailability, 6))
+		tbl.AddRow(d.label, report.F(r.After.ASP, 4), report.I(r.After.NoEV),
+			report.F(r.COA, 6), report.F(r.ServiceAvailability, 6))
 	}
 	fmt.Println(tbl.Render())
 	fmt.Println("The Nginx replica's surviving exploit chain is harder (0.86 x 0.39 vs 0.39), so")

@@ -25,11 +25,11 @@ import (
 )
 
 // DesignEvaluator is the evaluation dependency: anything that can score
-// one redundancy design on both paper axes. *redundancy.Evaluator is the
-// production implementation; tests substitute counting or blocking fakes.
-// Implementations must be safe for concurrent use.
+// one role-keyed design spec on both paper axes. *redundancy.Evaluator
+// is the production implementation; tests substitute counting or
+// blocking fakes. Implementations must be safe for concurrent use.
 type DesignEvaluator interface {
-	Evaluate(paperdata.Design) (redundancy.Result, error)
+	EvaluateSpec(paperdata.DesignSpec) (redundancy.Result, error)
 }
 
 // Options configures an Engine.
@@ -52,12 +52,13 @@ type Stats struct {
 	Hits   uint64
 }
 
-// key identifies a solved model: the design tuple under the engine's
-// policy fingerprint. The design name is deliberately excluded — renaming
-// a design does not change its models.
+// key identifies a solved model: the spec's canonical identity (tier
+// order, roles, variants, replica counts) under the engine's policy
+// fingerprint. The design name is deliberately excluded — renaming a
+// design does not change its models — while variants are included, so
+// a web tier and its webalt deployment never share a slot.
 type key struct {
-	fp                string
-	dns, web, app, db int
+	fp, spec string
 }
 
 // entry is one singleflight cache slot. ready is closed once res/err are
@@ -102,15 +103,23 @@ func (g *Engine) Stats() Stats {
 	return Stats{Solves: g.solves.Load(), Hits: g.hits.Load()}
 }
 
-// Evaluate scores one design, serving repeats from the cache. Concurrent
-// calls for the same design tuple share a single solve. The returned
-// result carries the requested design (name included) even on a cache
-// hit.
+// Evaluate scores one classic 4-tuple design through the spec path.
 func (g *Engine) Evaluate(d paperdata.Design) (redundancy.Result, error) {
 	if err := d.Validate(); err != nil {
 		return redundancy.Result{}, err
 	}
-	k := key{fp: g.fp, dns: d.DNS, web: d.Web, app: d.App, db: d.DB}
+	return g.EvaluateSpec(d.Spec())
+}
+
+// EvaluateSpec scores one role-keyed design, serving repeats from the
+// cache. Concurrent calls for the same spec identity share a single
+// solve. The returned result carries the requested spec (name included)
+// even on a cache hit.
+func (g *Engine) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return redundancy.Result{}, err
+	}
+	k := key{fp: g.fp, spec: spec.Key()}
 
 	g.mu.Lock()
 	e, ok := g.cache[k]
@@ -126,7 +135,7 @@ func (g *Engine) Evaluate(d paperdata.Design) (redundancy.Result, error) {
 			// channel. Surface it as the entry's error instead.
 			defer func() {
 				if p := recover(); p != nil {
-					e.err = fmt.Errorf("engine: evaluator panic for design %s: %v", d, p)
+					e.err = fmt.Errorf("engine: evaluator panic for design %s: %v", spec, p)
 				}
 				if e.err != nil {
 					// Errors are not memoized: waiters already holding
@@ -138,7 +147,7 @@ func (g *Engine) Evaluate(d paperdata.Design) (redundancy.Result, error) {
 				}
 				close(e.ready)
 			}()
-			e.res, e.err = g.eval.Evaluate(d)
+			e.res, e.err = g.eval.EvaluateSpec(spec)
 		}()
 	} else {
 		g.mu.Unlock()
@@ -150,7 +159,7 @@ func (g *Engine) Evaluate(d paperdata.Design) (redundancy.Result, error) {
 		return redundancy.Result{}, e.err
 	}
 	r := e.res
-	r.Design = d
+	r.Spec = spec
 	return r, nil
 }
 

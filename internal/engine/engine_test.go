@@ -40,12 +40,12 @@ type countingEvaluator struct {
 	gate  chan struct{}
 }
 
-func (c *countingEvaluator) Evaluate(d paperdata.Design) (redundancy.Result, error) {
+func (c *countingEvaluator) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, error) {
 	c.calls.Add(1)
 	if c.gate != nil {
 		<-c.gate
 	}
-	return c.inner.Evaluate(d)
+	return c.inner.EvaluateSpec(spec)
 }
 
 func TestParallelSweepMatchesSerialEvaluateAll(t *testing.T) {
@@ -173,8 +173,8 @@ func TestEvaluateStampsRequestedName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Design.Name != "first" || b.Design.Name != "second" {
-		t.Fatalf("names = %q, %q", a.Design.Name, b.Design.Name)
+	if a.Spec.Name != "first" || b.Spec.Name != "second" {
+		t.Fatalf("names = %q, %q", a.Spec.Name, b.Spec.Name)
 	}
 	if a.COA != b.COA || !reflect.DeepEqual(a.After, b.After) {
 		t.Fatal("same tuple under different names produced different metrics")
@@ -222,7 +222,7 @@ func TestSweepBoundsFilterIncrementally(t *testing.T) {
 	}
 	for _, r := range res.Front {
 		if !spec.Scatter.Satisfied(r) {
-			t.Fatalf("front member %s violates the bounds", r.Design)
+			t.Fatalf("front member %s violates the bounds", r.Spec)
 		}
 	}
 }
@@ -286,15 +286,15 @@ func TestSweepHonoursContext(t *testing.T) {
 }
 
 func TestSweepSpecValidate(t *testing.T) {
-	bad := SweepSpec{DNS: Range{Min: 3, Max: 1}}
+	bad := ClassicSpace(Range{Min: 3, Max: 1}, Range{}, Range{}, Range{})
 	if err := bad.Validate(); err == nil {
 		t.Fatal("inverted range accepted")
 	}
-	if err := (SweepSpec{}).Validate(); err != nil {
-		t.Fatalf("zero spec rejected: %v", err)
+	if err := (SweepSpec{}).Validate(); err == nil {
+		t.Fatal("tierless spec accepted")
 	}
-	if n := (SweepSpec{}).Size(); n != 1 {
-		t.Fatalf("zero spec size = %d, want 1", n)
+	if n := ClassicSpace(Range{}, Range{}, Range{}, Range{}).Size(); n != 1 {
+		t.Fatalf("zero-range classic spec size = %d, want 1", n)
 	}
 	if n := FullSpace(4).Size(); n != 256 {
 		t.Fatalf("FullSpace(4) size = %d, want 256", n)
@@ -302,14 +302,38 @@ func TestSweepSpecValidate(t *testing.T) {
 	if err := FullSpace(0).Validate(); err == nil {
 		t.Fatal("FullSpace(0) must fail validation, not sweep one design")
 	}
+	for name, spec := range map[string]SweepSpec{
+		"duplicate role":    {Tiers: []TierSweep{{Role: "web"}, {Role: "web"}}},
+		"unknown role":      {Tiers: []TierSweep{{Role: "cache"}}},
+		"unknown variant":   {Tiers: []TierSweep{{Role: "web", Variants: []string{"iis"}}}},
+		"duplicate variant": {Tiers: []TierSweep{{Role: "web", Variants: []string{"webalt", "webalt"}}}},
+		"variant names own role": {Tiers: []TierSweep{
+			{Role: "web", Variants: []string{"", "web"}}}},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	hetero := SweepSpec{Tiers: []TierSweep{
+		{Role: "dns"},
+		{Role: "web", Replicas: Range{Min: 1, Max: 2}, Variants: []string{"", "webalt"}},
+		{Role: "app"},
+		{Role: "db"},
+	}}
+	if err := hetero.Validate(); err != nil {
+		t.Fatalf("heterogeneous spec rejected: %v", err)
+	}
+	if n := hetero.Size(); n != 4 {
+		t.Fatalf("heterogeneous size = %d, want 4 (2 counts x 2 stacks)", n)
+	}
 }
 
 func TestSweepSurfacesEvaluationError(t *testing.T) {
-	failing := evaluatorFunc(func(d paperdata.Design) (redundancy.Result, error) {
-		if d.DNS == 2 && d.Web == 1 && d.App == 1 && d.DB == 1 {
+	failing := evaluatorFunc(func(s paperdata.DesignSpec) (redundancy.Result, error) {
+		if s.Name == "2d1w1a1b" {
 			return redundancy.Result{}, errors.New("synthetic failure")
 		}
-		return redundancy.Result{Design: d}, nil
+		return redundancy.Result{Spec: s}, nil
 	})
 	g, err := New(failing, Options{Workers: 4})
 	if err != nil {
@@ -320,15 +344,15 @@ func TestSweepSurfacesEvaluationError(t *testing.T) {
 	}
 }
 
-type evaluatorFunc func(paperdata.Design) (redundancy.Result, error)
+type evaluatorFunc func(paperdata.DesignSpec) (redundancy.Result, error)
 
-func (f evaluatorFunc) Evaluate(d paperdata.Design) (redundancy.Result, error) { return f(d) }
+func (f evaluatorFunc) EvaluateSpec(s paperdata.DesignSpec) (redundancy.Result, error) { return f(s) }
 
 // TestEvaluatorPanicDoesNotWedgeCacheKey pins the singleflight panic
 // path: a panicking solve must surface as an error and later calls for
 // the same tuple must not block forever on a never-closed ready channel.
 func TestEvaluatorPanicDoesNotWedgeCacheKey(t *testing.T) {
-	g, err := New(evaluatorFunc(func(paperdata.Design) (redundancy.Result, error) {
+	g, err := New(evaluatorFunc(func(paperdata.DesignSpec) (redundancy.Result, error) {
 		panic("synthetic solver bug")
 	}), Options{})
 	if err != nil {
@@ -362,11 +386,11 @@ func TestEvaluatorPanicDoesNotWedgeCacheKey(t *testing.T) {
 func TestTransientErrorIsNotMemoized(t *testing.T) {
 	inner := paperEvaluator(t)
 	var failed atomic.Bool
-	g, err := New(evaluatorFunc(func(d paperdata.Design) (redundancy.Result, error) {
+	g, err := New(evaluatorFunc(func(s paperdata.DesignSpec) (redundancy.Result, error) {
 		if failed.CompareAndSwap(false, true) {
 			return redundancy.Result{}, errors.New("transient failure")
 		}
-		return inner.Evaluate(d)
+		return inner.EvaluateSpec(s)
 	}), Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -381,5 +405,61 @@ func TestTransientErrorIsNotMemoized(t *testing.T) {
 	}
 	if r.COA <= 0 {
 		t.Fatalf("implausible retried result: %+v", r)
+	}
+}
+
+// TestSpecCacheKeysDistinguishVariants pins the v2 cache identity: a web
+// tier and its webalt deployment with identical replica counts must never
+// share a cache slot, a mixed heterogeneous tier is a third identity, and
+// renaming any of them stays a cache hit.
+func TestSpecCacheKeysDistinguishVariants(t *testing.T) {
+	c := &countingEvaluator{inner: paperEvaluator(t)}
+	g, err := New(c, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := func(web ...paperdata.TierSpec) paperdata.DesignSpec {
+		tiers := []paperdata.TierSpec{{Role: paperdata.RoleDNS, Replicas: 1}}
+		tiers = append(tiers, web...)
+		tiers = append(tiers,
+			paperdata.TierSpec{Role: paperdata.RoleApp, Replicas: 1},
+			paperdata.TierSpec{Role: paperdata.RoleDB, Replicas: 1})
+		return paperdata.DesignSpec{Name: "d", Tiers: tiers}
+	}
+	plain := classic(paperdata.TierSpec{Role: paperdata.RoleWeb, Replicas: 2})
+	alt := classic(paperdata.TierSpec{Role: paperdata.RoleWeb, Replicas: 2, Variant: paperdata.RoleWebAlt})
+	mixed := classic(
+		paperdata.TierSpec{Role: paperdata.RoleWeb, Replicas: 1},
+		paperdata.TierSpec{Role: paperdata.RoleWeb, Replicas: 1, Variant: paperdata.RoleWebAlt})
+
+	rPlain, err := g.EvaluateSpec(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAlt, err := g.EvaluateSpec(alt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.EvaluateSpec(mixed); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.calls.Load(); n != 3 {
+		t.Fatalf("three distinct variant identities performed %d solves, want 3", n)
+	}
+	if rPlain.After.NoEV == rAlt.After.NoEV && rPlain.After.ASP == rAlt.After.ASP {
+		t.Fatal("variant deployment evaluated identically to the base stack")
+	}
+
+	renamed := alt
+	renamed.Name = "renamed"
+	r, err := g.EvaluateSpec(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.calls.Load(); n != 3 {
+		t.Fatalf("renamed spec re-solved: %d solves", n)
+	}
+	if r.Spec.Name != "renamed" {
+		t.Fatalf("cache hit lost the requested name: %q", r.Spec.Name)
 	}
 }

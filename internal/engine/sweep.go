@@ -29,41 +29,100 @@ func (r Range) normalized() Range {
 
 func (r Range) size() int { return r.Max - r.Min + 1 }
 
-// SweepSpec describes a design-space sweep: one replica range per tier
-// plus optional administrator bounds. When a bound is set, results
-// failing it are dropped as they arrive and never accumulate.
+// TierSweep is one tier of a sweep: a logical role, an inclusive replica
+// range, and the stack variants to enumerate. An empty Variants set
+// sweeps the role's own stack only; listing variants (the empty string
+// stands for the base stack) multiplies the space by the stack choices —
+// the paper's §V heterogeneous-redundancy exploration.
+type TierSweep struct {
+	Role     string
+	Replicas Range
+	Variants []string
+}
+
+// options returns the tier's stack choices, defaulting to the base
+// stack, with the role-equals-variant spelling normalized to "".
+func (t TierSweep) options() []string {
+	if len(t.Variants) == 0 {
+		return []string{""}
+	}
+	out := make([]string, len(t.Variants))
+	for i, v := range t.Variants {
+		if v == t.Role {
+			v = ""
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SweepSpec describes a design-space sweep: an ordered list of tier
+// sweeps plus optional administrator bounds. When a bound is set,
+// results failing it are dropped as they arrive and never accumulate.
 type SweepSpec struct {
-	DNS, Web, App, DB Range
+	Tiers []TierSweep
 	// Scatter, when non-nil, applies the paper's Eq. 3 bounds.
 	Scatter *redundancy.ScatterBounds
 	// Multi, when non-nil, applies the paper's Eq. 4 bounds.
 	Multi *redundancy.MultiBounds
 }
 
-// FullSpace is the sweep of every design with 1..maxPerTier replicas in
-// every tier, the paper's §V enumeration. maxPerTier < 1 yields a spec
-// that fails Validate — it must not silently shrink to a one-design
-// sweep the way the Max-means-Min sentinel otherwise would.
+// FullSpace is the sweep of every classic design with 1..maxPerTier
+// replicas in every tier, the paper's §V enumeration. maxPerTier < 1
+// yields a spec that fails Validate — it must not silently shrink to a
+// one-design sweep the way the Max-means-Min sentinel otherwise would.
 func FullSpace(maxPerTier int) SweepSpec {
-	if maxPerTier < 1 {
-		r := Range{Min: 1, Max: -1}
-		return SweepSpec{DNS: r, Web: r, App: r, DB: r}
-	}
 	r := Range{Min: 1, Max: maxPerTier}
-	return SweepSpec{DNS: r, Web: r, App: r, DB: r}
+	if maxPerTier < 1 {
+		r = Range{Min: 1, Max: -1}
+	}
+	return ClassicSpace(r, r, r, r)
 }
 
-// Validate rejects nonsensical ranges.
+// ClassicSpace builds the paper's fixed four-tier sweep from per-tier
+// replica ranges — the shape the deprecated 4-int API sweeps.
+func ClassicSpace(dns, web, app, db Range) SweepSpec {
+	return SweepSpec{Tiers: []TierSweep{
+		{Role: paperdata.RoleDNS, Replicas: dns},
+		{Role: paperdata.RoleWeb, Replicas: web},
+		{Role: paperdata.RoleApp, Replicas: app},
+		{Role: paperdata.RoleDB, Replicas: db},
+	}}
+}
+
+// Validate rejects specs with no tiers, duplicate or empty roles,
+// nonsensical ranges, and unknown or duplicate variant stacks.
 func (s SweepSpec) Validate() error {
-	for _, tr := range []struct {
-		name string
-		r    Range
-	}{{"dns", s.DNS}, {"web", s.Web}, {"app", s.App}, {"db", s.DB}} {
-		if tr.r.Min < 0 || tr.r.Max < 0 {
-			return fmt.Errorf("engine: negative %s range [%d,%d]", tr.name, tr.r.Min, tr.r.Max)
+	if len(s.Tiers) == 0 {
+		return fmt.Errorf("engine: sweep spec has no tiers")
+	}
+	roles := make(map[string]bool, len(s.Tiers))
+	for _, t := range s.Tiers {
+		if t.Role == "" {
+			return fmt.Errorf("engine: sweep tier with empty role")
 		}
-		if tr.r.Max != 0 && tr.r.Max < tr.r.Min {
-			return fmt.Errorf("engine: inverted %s range [%d,%d]", tr.name, tr.r.Min, tr.r.Max)
+		if roles[t.Role] {
+			return fmt.Errorf("engine: duplicate sweep tier %q", t.Role)
+		}
+		roles[t.Role] = true
+		if !paperdata.KnownStack(t.Role) {
+			return fmt.Errorf("engine: sweep tier %q has no catalogued stack", t.Role)
+		}
+		if t.Replicas.Min < 0 || t.Replicas.Max < 0 {
+			return fmt.Errorf("engine: negative %s range [%d,%d]", t.Role, t.Replicas.Min, t.Replicas.Max)
+		}
+		if t.Replicas.Max != 0 && t.Replicas.Max < t.Replicas.Min {
+			return fmt.Errorf("engine: inverted %s range [%d,%d]", t.Role, t.Replicas.Min, t.Replicas.Max)
+		}
+		seen := make(map[string]bool, len(t.Variants))
+		for _, v := range t.options() {
+			if seen[v] {
+				return fmt.Errorf("engine: tier %s lists variant %q twice", t.Role, v)
+			}
+			seen[v] = true
+			if v != "" && !paperdata.KnownStack(v) {
+				return fmt.Errorf("engine: tier %s sweeps unknown variant stack %q", t.Role, v)
+			}
 		}
 	}
 	return nil
@@ -74,8 +133,11 @@ func (s SweepSpec) Validate() error {
 // product would slip huge spaces past its size cap.
 func (s SweepSpec) Size() int {
 	size := 1
-	for _, r := range []Range{s.DNS, s.Web, s.App, s.DB} {
-		n := r.normalized().size()
+	for _, t := range s.Tiers {
+		n := t.Replicas.normalized().size() * len(t.options())
+		if n <= 0 {
+			n = 1
+		}
 		if size > math.MaxInt/n {
 			return math.MaxInt
 		}
@@ -84,23 +146,32 @@ func (s SweepSpec) Size() int {
 	return size
 }
 
-// Designs enumerates the spec in lexicographic (dns, web, app, db) order
-// with the same naming scheme as redundancy.EnumerateDesigns.
-func (s SweepSpec) Designs() []paperdata.Design {
-	dns, web, app, db := s.DNS.normalized(), s.Web.normalized(), s.App.normalized(), s.DB.normalized()
-	out := make([]paperdata.Design, 0, min(s.Size(), 1<<20))
-	for d := dns.Min; d <= dns.Max; d++ {
-		for w := web.Min; w <= web.Max; w++ {
-			for a := app.Min; a <= app.Max; a++ {
-				for b := db.Min; b <= db.Max; b++ {
-					out = append(out, paperdata.Design{
-						Name: paperdata.DefaultName(d, w, a, b),
-						DNS:  d, Web: w, App: a, DB: b,
-					})
-				}
+// Designs enumerates the spec in lexicographic tier order: earlier tiers
+// vary slowest, and within a tier replica counts vary before variant
+// choices. Classic homogeneous sweeps keep the "1d2w2a1b" naming of
+// redundancy.EnumerateDesigns; heterogeneous designs get role-keyed
+// canonical names.
+func (s SweepSpec) Designs() []paperdata.DesignSpec {
+	out := make([]paperdata.DesignSpec, 0, min(s.Size(), 1<<20))
+	tiers := make([]paperdata.TierSpec, len(s.Tiers))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(s.Tiers) {
+			spec := paperdata.DesignSpec{Tiers: append([]paperdata.TierSpec(nil), tiers...)}
+			spec.Name = spec.CanonicalName()
+			out = append(out, spec)
+			return
+		}
+		t := s.Tiers[i]
+		r := t.Replicas.normalized()
+		for n := r.Min; n <= r.Max; n++ {
+			for _, v := range t.options() {
+				tiers[i] = paperdata.TierSpec{Role: t.Role, Replicas: n, Variant: v}
+				walk(i + 1)
 			}
 		}
 	}
+	walk(0)
 	return out
 }
 
@@ -193,11 +264,11 @@ func (g *Engine) sweep(ctx context.Context, spec SweepSpec, emit func(int, redun
 	designs := spec.Designs()
 	var firstErr error
 	workpool.Stream(g.workers, designs,
-		func(_ int, d paperdata.Design) (redundancy.Result, error) {
+		func(_ int, d paperdata.DesignSpec) (redundancy.Result, error) {
 			if err := ctx.Err(); err != nil {
 				return redundancy.Result{}, err
 			}
-			r, err := g.Evaluate(d)
+			r, err := g.EvaluateSpec(d)
 			if err != nil {
 				err = fmt.Errorf("engine: design %s: %w", d, err)
 			}

@@ -35,6 +35,14 @@ type PatchCandidate struct {
 // infeasible "due to time and cost constraints": which single patch buys
 // the most security.
 func (h *HARM) RankPatchCandidates(opts EvalOptions) ([]PatchCandidate, error) {
+	return h.RankPatchCandidatesWhere(opts, nil)
+}
+
+// RankPatchCandidatesWhere is RankPatchCandidates restricted to the
+// vulnerabilities eligible accepts — the ranking a patch policy needs
+// when only its selected set is up for patching. A nil eligible ranks
+// every vulnerability.
+func (h *HARM) RankPatchCandidatesWhere(opts EvalOptions, eligible func(ref string) bool) ([]PatchCandidate, error) {
 	before, err := h.Evaluate(opts)
 	if err != nil {
 		return nil, err
@@ -51,7 +59,9 @@ func (h *HARM) RankPatchCandidates(opts EvalOptions) ([]PatchCandidate, error) {
 	}
 	refs := make([]string, 0, len(refHosts))
 	for ref := range refHosts {
-		refs = append(refs, ref)
+		if eligible == nil || eligible(ref) {
+			refs = append(refs, ref)
+		}
 	}
 	sort.Strings(refs)
 

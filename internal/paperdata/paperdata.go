@@ -204,9 +204,13 @@ func leaf(db *vulndb.DB, id string) *attacktree.Leaf {
 }
 
 // Trees returns the Fig. 3 attack-tree templates per role, with leaf
-// values derived from the CVSS vectors (reproducing Table I).
+// values derived from the CVSS vectors (reproducing Table I), plus the
+// alternative web stack's tree keyed by RoleWebAlt so variant-aware
+// designs resolve their trees from the same map. Extra templates are
+// inert for designs that deploy no host of that role.
 func Trees(db *vulndb.DB) map[string]*attacktree.Tree {
 	return map[string]*attacktree.Tree{
+		RoleWebAlt: AltWebTree(db),
 		RoleDNS: attacktree.New(attacktree.NewOR(
 			leaf(db, "CVE-2016-3227"),
 		)),
@@ -299,44 +303,12 @@ func BaseDesign() Design {
 // firewall; web servers reach the application tier and application
 // servers reach the database tier through the internal firewall; the DNS
 // server can also be used as a stepping stone to the web tier (Fig. 3a).
+// It is the classic 4-tuple view of SpecTopology.
 func Topology(d Design) (*topology.Topology, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
-	top := topology.New()
-	top.MustAddNode(topology.Node{Name: "attacker", Kind: topology.KindAttacker, Subnet: "internet"})
-
-	names := func(role string, n int) []string {
-		out := make([]string, n)
-		for i := range out {
-			out[i] = fmt.Sprintf("%s%d", role, i+1)
-		}
-		return out
-	}
-	dns := names(RoleDNS, d.DNS)
-	web := names(RoleWeb, d.Web)
-	app := names(RoleApp, d.App)
-	dbs := names(RoleDB, d.DB)
-
-	subnet := map[string]string{RoleDNS: "dmz2", RoleWeb: "dmz1", RoleApp: "intranet", RoleDB: "intranet"}
-	for role, group := range map[string][]string{RoleDNS: dns, RoleWeb: web, RoleApp: app, RoleDB: dbs} {
-		for _, name := range group {
-			top.MustAddNode(topology.Node{Name: name, Kind: topology.KindHost, Subnet: subnet[role], Role: role})
-		}
-	}
-	connectAll := func(from, to []string) {
-		for _, f := range from {
-			for _, t := range to {
-				top.MustConnect(f, t)
-			}
-		}
-	}
-	connectAll([]string{"attacker"}, dns)
-	connectAll([]string{"attacker"}, web)
-	connectAll(dns, web)
-	connectAll(web, app)
-	connectAll(app, dbs)
-	return top, nil
+	return SpecTopology(d.Spec())
 }
 
 // ServerParams computes the availability-model parameters of a role:

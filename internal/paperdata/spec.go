@@ -1,0 +1,267 @@
+package paperdata
+
+import (
+	"fmt"
+	"strings"
+
+	"redpatch/internal/topology"
+)
+
+// TierSpec is one redundancy group of a role-keyed design: Replicas
+// servers serving the logical tier Role. Variant, when non-empty, selects
+// an alternate software stack for the group (e.g. RoleWebAlt for a web
+// tier) with its own vulnerability set and patch plan; empty means the
+// role's own stack. Several TierSpecs may share a Role — they then form
+// one heterogeneous logical tier (the paper's §V variant deployment),
+// available while any server across the groups is up.
+type TierSpec struct {
+	Role     string
+	Replicas int
+	Variant  string
+}
+
+// Stack returns the software-stack role the group's servers run: the
+// variant when one is set (and differs from the role), the role itself
+// otherwise.
+func (t TierSpec) Stack() string {
+	if t.Variant != "" && t.Variant != t.Role {
+		return t.Variant
+	}
+	return t.Role
+}
+
+// label renders the tier for names and keys: "role" or "role/variant".
+func (t TierSpec) label() string {
+	if s := t.Stack(); s != t.Role {
+		return t.Role + "/" + s
+	}
+	return t.Role
+}
+
+// DesignSpec is a role-keyed redundancy design: an ordered list of tier
+// groups. It generalizes the paper's fixed (DNS, Web, App, DB) tuple to
+// arbitrary tier chains and heterogeneous variants; Design.Spec converts
+// the classic tuple into the canonical four-tier spec.
+type DesignSpec struct {
+	Name  string
+	Tiers []TierSpec
+}
+
+// Spec converts the classic 4-int design into its role-keyed equivalent.
+func (d Design) Spec() DesignSpec {
+	return DesignSpec{Name: d.Name, Tiers: []TierSpec{
+		{Role: RoleDNS, Replicas: d.DNS},
+		{Role: RoleWeb, Replicas: d.Web},
+		{Role: RoleApp, Replicas: d.App},
+		{Role: RoleDB, Replicas: d.DB},
+	}}
+}
+
+// KnownStack reports whether the catalog names a software stack for the
+// role.
+func KnownStack(role string) bool {
+	for _, spec := range Catalog() {
+		if spec.Role == role {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec: at least one tier, at least one replica per
+// group, and every stack (role or variant) present in the catalog, since
+// evaluation needs the stack's vulnerabilities and patch plan.
+func (s DesignSpec) Validate() error {
+	if len(s.Tiers) == 0 {
+		return fmt.Errorf("paperdata: design spec %q has no tiers", s.Name)
+	}
+	for i, t := range s.Tiers {
+		if t.Role == "" {
+			return fmt.Errorf("paperdata: design spec %q: tier %d has no role", s.Name, i)
+		}
+		if t.Replicas < 1 {
+			return fmt.Errorf("paperdata: design spec %q: tier %s needs at least one replica, have %d",
+				s.Name, t.label(), t.Replicas)
+		}
+		if !KnownStack(t.Stack()) {
+			return fmt.Errorf("paperdata: design spec %q: tier %s uses unknown stack %q",
+				s.Name, t.Role, t.Stack())
+		}
+	}
+	return nil
+}
+
+// Total returns the number of servers in the spec.
+func (s DesignSpec) Total() int {
+	n := 0
+	for _, t := range s.Tiers {
+		n += t.Replicas
+	}
+	return n
+}
+
+// Key is the canonical cache identity of the spec: tier order, roles,
+// variants and replica counts — everything that changes the models — and
+// deliberately not the name, so renaming a design never misses the cache.
+func (s DesignSpec) Key() string {
+	parts := make([]string, len(s.Tiers))
+	for i, t := range s.Tiers {
+		parts[i] = fmt.Sprintf("%s:%d", t.label(), t.Replicas)
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders the spec in the paper's notation, e.g.
+// "1 DNS + 2 WEB + 2 APP + 1 DB"; variant groups render as
+// "1 WEB/WEBALT".
+func (s DesignSpec) String() string {
+	parts := make([]string, len(s.Tiers))
+	for i, t := range s.Tiers {
+		parts[i] = fmt.Sprintf("%d %s", t.Replicas, strings.ToUpper(t.label()))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// classic reports whether the spec is exactly the homogeneous
+// (DNS, Web, App, DB) tuple, returning it when so.
+func (s DesignSpec) classic() (Design, bool) {
+	if len(s.Tiers) != 4 {
+		return Design{}, false
+	}
+	for i, role := range Roles() {
+		t := s.Tiers[i]
+		if t.Role != role || t.Stack() != role {
+			return Design{}, false
+		}
+	}
+	return Design{
+		Name: s.Name,
+		DNS:  s.Tiers[0].Replicas,
+		Web:  s.Tiers[1].Replicas,
+		App:  s.Tiers[2].Replicas,
+		DB:   s.Tiers[3].Replicas,
+	}, true
+}
+
+// CanonicalName is the compact default name of a spec: the classic
+// "1d2w2a1b" scheme for homogeneous four-tier designs (shared with the
+// 4-int API), and a role-keyed "1dns-2web/webalt-..." form otherwise.
+func (s DesignSpec) CanonicalName() string {
+	if d, ok := s.classic(); ok {
+		return DefaultName(d.DNS, d.Web, d.App, d.DB)
+	}
+	parts := make([]string, len(s.Tiers))
+	for i, t := range s.Tiers {
+		parts[i] = fmt.Sprintf("%d%s", t.Replicas, t.label())
+	}
+	return strings.Join(parts, "-")
+}
+
+// LogicalTier is one logical service tier of a spec: every group sharing
+// one role, in spec order.
+type LogicalTier struct {
+	Role   string
+	Groups []TierSpec
+}
+
+// Logical groups the spec's tiers by role in first-appearance order. The
+// chain of logical tiers defines the network layering; groups within one
+// logical tier are redundant alternatives for the same service.
+func (s DesignSpec) Logical() []LogicalTier {
+	index := make(map[string]int)
+	var out []LogicalTier
+	for _, t := range s.Tiers {
+		i, ok := index[t.Role]
+		if !ok {
+			i = len(out)
+			index[t.Role] = i
+			out = append(out, LogicalTier{Role: t.Role})
+		}
+		out[i].Groups = append(out[i].Groups, t)
+	}
+	return out
+}
+
+// TargetStacks returns the distinct stack roles of the last logical tier
+// — the attacker's goal hosts (the database servers in the paper).
+func (s DesignSpec) TargetStacks() []string {
+	logical := s.Logical()
+	if len(logical) == 0 {
+		return nil
+	}
+	last := logical[len(logical)-1]
+	seen := make(map[string]bool, len(last.Groups))
+	var out []string
+	for _, g := range last.Groups {
+		if stack := g.Stack(); !seen[stack] {
+			seen[stack] = true
+			out = append(out, stack)
+		}
+	}
+	return out
+}
+
+// tierSubnet places a logical tier on the Fig. 2 network: the paper's
+// DMZ assignments for the known roles, the intranet for everything else.
+func tierSubnet(role string) string {
+	switch role {
+	case RoleDNS:
+		return "dmz2"
+	case RoleWeb, RoleWebAlt:
+		return "dmz1"
+	default:
+		return "intranet"
+	}
+}
+
+// SpecTopology builds the network of a role-keyed design, generalizing
+// the paper's Fig. 2: logical tiers form a chain in spec order (every
+// server of one tier reaches every server of the next), the attacker
+// reaches every DMZ tier (the paper's dual entry through DNS and web),
+// and — when no tier sits in a DMZ — the first tier. Server names are
+// stack-keyed ("web1", "webalt1"), matching the classic Topology for
+// homogeneous designs.
+func SpecTopology(spec DesignSpec) (*topology.Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	top := topology.New()
+	top.MustAddNode(topology.Node{Name: "attacker", Kind: topology.KindAttacker, Subnet: "internet"})
+
+	logical := spec.Logical()
+	counter := make(map[string]int)
+	hosts := make([][]string, len(logical))
+	for i, lt := range logical {
+		subnet := tierSubnet(lt.Role)
+		for _, g := range lt.Groups {
+			stack := g.Stack()
+			for r := 0; r < g.Replicas; r++ {
+				counter[stack]++
+				name := fmt.Sprintf("%s%d", stack, counter[stack])
+				top.MustAddNode(topology.Node{Name: name, Kind: topology.KindHost, Subnet: subnet, Role: stack})
+				hosts[i] = append(hosts[i], name)
+			}
+		}
+	}
+	connectAll := func(from, to []string) {
+		for _, f := range from {
+			for _, t := range to {
+				top.MustConnect(f, t)
+			}
+		}
+	}
+	entered := false
+	for i, lt := range logical {
+		if strings.HasPrefix(tierSubnet(lt.Role), "dmz") {
+			connectAll([]string{"attacker"}, hosts[i])
+			entered = true
+		}
+	}
+	if !entered {
+		connectAll([]string{"attacker"}, hosts[0])
+	}
+	for i := 0; i+1 < len(logical); i++ {
+		connectAll(hosts[i], hosts[i+1])
+	}
+	return top, nil
+}

@@ -9,6 +9,8 @@ package redundancy
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"redpatch/internal/attacktree"
 	"redpatch/internal/availability"
@@ -20,12 +22,15 @@ import (
 )
 
 // Evaluator evaluates redundancy designs for one case study: a
-// vulnerability dataset, per-role attack trees, a patch policy and
+// vulnerability dataset, per-stack attack trees, a patch policy and
 // schedule, and the HARM evaluation options. Lower-layer availability
-// models are solved once per role and cached.
+// models are solved once per software stack and cached — the paper's
+// four roles eagerly at construction, variant stacks (RoleWebAlt)
+// lazily on first use.
 //
 // An Evaluator is safe for concurrent use after NewEvaluator returns:
-// every field is read-only from then on, harm.Build clones the shared
+// the configuration fields are read-only from then on, the per-stack
+// rate cache is guarded by its mutex, harm.Build clones the shared
 // attack-tree templates before touching them, vulndb.DB lookups are plain
 // map reads, and each Evaluate call builds its own topology, HARM and
 // network model. The one caveat is the vulnerability database itself —
@@ -40,6 +45,7 @@ type Evaluator struct {
 	evalOpts harm.EvalOptions
 	workers  int
 
+	mu    sync.Mutex // guards agg and plans (lazy variant-stack solves)
 	agg   map[string]availability.AggregatedRates
 	plans map[string]patch.Plan
 }
@@ -98,30 +104,52 @@ func NewEvaluator(opts Options) (*Evaluator, error) {
 	}
 
 	for _, role := range paperdata.Roles() {
-		params, plan, err := paperdata.ServerParams(e.db, role, e.policy, e.schedule)
-		if err != nil {
+		if _, err := e.ratesFor(role); err != nil {
 			return nil, err
 		}
-		e.plans[role] = plan
-		if !plan.RequiresPatch() {
-			e.agg[role] = availability.AggregatedRates{} // tier never patches
-			continue
-		}
-		sol, err := availability.SolveServer(params)
-		if err != nil {
-			return nil, err
-		}
-		agg, err := availability.Aggregate(sol)
-		if err != nil {
-			return nil, err
-		}
-		e.agg[role] = agg
 	}
 	return e, nil
 }
 
-// AggregatedRates exposes the cached per-role rates (Table V).
+// ratesFor returns the aggregated patch/recovery rates of a software
+// stack, solving and caching its lower-layer availability model on first
+// use. The paper's four roles are presolved at construction; variant
+// stacks land here lazily. The solve runs outside the mutex so a cache
+// miss never stalls workers whose stacks are already cached; concurrent
+// first requests for one stack may duplicate the (deterministic) solve,
+// which beats serializing the whole pool behind it.
+func (e *Evaluator) ratesFor(stack string) (availability.AggregatedRates, error) {
+	e.mu.Lock()
+	a, ok := e.agg[stack]
+	e.mu.Unlock()
+	if ok {
+		return a, nil
+	}
+	params, plan, err := paperdata.ServerParams(e.db, stack, e.policy, e.schedule)
+	if err != nil {
+		return availability.AggregatedRates{}, err
+	}
+	agg := availability.AggregatedRates{} // a stack that never patches is always fully up
+	if plan.RequiresPatch() {
+		sol, err := availability.SolveServer(params)
+		if err != nil {
+			return availability.AggregatedRates{}, err
+		}
+		if agg, err = availability.Aggregate(sol); err != nil {
+			return availability.AggregatedRates{}, err
+		}
+	}
+	e.mu.Lock()
+	e.plans[stack] = plan
+	e.agg[stack] = agg
+	e.mu.Unlock()
+	return agg, nil
+}
+
+// AggregatedRates exposes the cached per-stack rates (Table V).
 func (e *Evaluator) AggregatedRates() map[string]availability.AggregatedRates {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make(map[string]availability.AggregatedRates, len(e.agg))
 	for k, v := range e.agg {
 		out[k] = v
@@ -129,8 +157,10 @@ func (e *Evaluator) AggregatedRates() map[string]availability.AggregatedRates {
 	return out
 }
 
-// Plans exposes the per-role patch plans.
+// Plans exposes the per-stack patch plans.
 func (e *Evaluator) Plans() map[string]patch.Plan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make(map[string]patch.Plan, len(e.plans))
 	for k, v := range e.plans {
 		out[k] = v
@@ -140,7 +170,8 @@ func (e *Evaluator) Plans() map[string]patch.Plan {
 
 // Result is the full evaluation of one design.
 type Result struct {
-	Design paperdata.Design
+	// Spec is the role-keyed design the result was evaluated for.
+	Spec paperdata.DesignSpec
 	// Before and After hold the security metrics on either side of the
 	// patch round.
 	Before, After harm.Metrics
@@ -150,24 +181,67 @@ type Result struct {
 	ServiceAvailability float64
 }
 
-// Evaluate runs both models for one design.
-func (e *Evaluator) Evaluate(d paperdata.Design) (Result, error) {
-	if err := d.Validate(); err != nil {
-		return Result{}, err
-	}
-	top, err := paperdata.Topology(d)
+// buildHARM constructs the security model of a spec: the generalized
+// Fig. 2 topology with the evaluator's attack-tree templates, targeting
+// the stacks of the last logical tier.
+func (e *Evaluator) buildHARM(spec paperdata.DesignSpec) (*harm.HARM, error) {
+	top, err := paperdata.SpecTopology(spec)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	h, err := harm.Build(harm.BuildInput{
+	return harm.Build(harm.BuildInput{
 		Topology:    top,
 		Trees:       e.trees,
-		TargetRoles: []string{paperdata.RoleDB},
+		TargetRoles: spec.TargetStacks(),
 	})
+}
+
+// NetworkModelFor builds the upper-layer availability model of a spec:
+// one tier per replica group with the stack's aggregated rates, grouped
+// by logical role so heterogeneous groups back each other up (the
+// service is up while any group of the role has a server up).
+func (e *Evaluator) NetworkModelFor(spec paperdata.DesignSpec) (availability.NetworkModel, error) {
+	if err := spec.Validate(); err != nil {
+		return availability.NetworkModel{}, err
+	}
+	var nm availability.NetworkModel
+	names := make(map[string]int)
+	for _, lt := range spec.Logical() {
+		for _, g := range lt.Groups {
+			stack := g.Stack()
+			agg, err := e.ratesFor(stack)
+			if err != nil {
+				return availability.NetworkModel{}, err
+			}
+			// Tier names must be unique in the SRN; a stack deployed in
+			// several groups gets an ordinal suffix past the first.
+			name := stack
+			names[stack]++
+			if names[stack] > 1 {
+				name = fmt.Sprintf("%s#%d", stack, names[stack])
+			}
+			nm.Tiers = append(nm.Tiers, availability.Tier{
+				Name:     name,
+				Group:    lt.Role,
+				N:        g.Replicas,
+				LambdaEq: agg.LambdaEq,
+				MuEq:     agg.MuEq,
+			})
+		}
+	}
+	return nm, nil
+}
+
+// EvaluateSpec runs both models for one role-keyed design.
+func (e *Evaluator) EvaluateSpec(spec paperdata.DesignSpec) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	h, err := e.buildHARM(spec)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Design: d}
+	res := Result{Spec: spec}
 	if res.Before, err = h.Evaluate(e.evalOpts); err != nil {
 		return Result{}, err
 	}
@@ -185,15 +259,9 @@ func (e *Evaluator) Evaluate(d paperdata.Design) (Result, error) {
 		return Result{}, err
 	}
 
-	var nm availability.NetworkModel
-	for _, role := range paperdata.Roles() {
-		agg := e.agg[role]
-		nm.Tiers = append(nm.Tiers, availability.Tier{
-			Name:     role,
-			N:        d.Counts()[role],
-			LambdaEq: agg.LambdaEq,
-			MuEq:     agg.MuEq,
-		})
+	nm, err := e.NetworkModelFor(spec)
+	if err != nil {
+		return Result{}, err
 	}
 	sol, err := availability.SolveNetwork(nm)
 	if err != nil {
@@ -202,6 +270,45 @@ func (e *Evaluator) Evaluate(d paperdata.Design) (Result, error) {
 	res.COA = sol.COA
 	res.ServiceAvailability = sol.ServiceAvailability
 	return res, nil
+}
+
+// Evaluate runs both models for one classic 4-tuple design.
+func (e *Evaluator) Evaluate(d paperdata.Design) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	return e.EvaluateSpec(d.Spec())
+}
+
+// RankPatches ranks the policy-selected vulnerabilities of a design by
+// the network-level risk reduction of patching each alone — the
+// prioritization an administrator needs when the selected set does not
+// fit one maintenance window. The ranking uses the evaluator's own
+// dataset, trees and policy, so a PatchAll or custom-threshold study
+// ranks exactly the set it would patch.
+func (e *Evaluator) RankPatches(spec paperdata.DesignSpec) ([]harm.PatchCandidate, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := e.buildHARM(spec)
+	if err != nil {
+		return nil, err
+	}
+	return h.RankPatchCandidatesWhere(e.evalOpts, func(ref string) bool {
+		v, ok := e.db.ByID(ref)
+		return ok && e.policy.Selects(v)
+	})
+}
+
+// PlanCampaign splits the policy-selected patches of one stack role over
+// maintenance rounds bounded by maxWindow, under the evaluator's policy
+// and schedule.
+func (e *Evaluator) PlanCampaign(role string, maxWindow time.Duration) (patch.Campaign, error) {
+	vulns, err := paperdata.VulnsForRole(e.db, role)
+	if err != nil {
+		return patch.Campaign{}, err
+	}
+	return patch.PlanCampaign(role, vulns, e.policy, e.schedule, maxWindow)
 }
 
 // EvaluateAll evaluates a list of designs and returns results in input
@@ -323,7 +430,7 @@ func (c CostModel) MonthlyCost(r Result) float64 {
 	if hours == 0 {
 		hours = 720
 	}
-	return c.ServerPerMonth*float64(r.Design.Total()) +
+	return c.ServerPerMonth*float64(r.Spec.Total()) +
 		c.DowntimePerHour*(1-r.COA)*hours +
 		c.BreachLoss*r.After.ASP
 }

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"redpatch/internal/harm"
 	"redpatch/internal/mathx"
@@ -38,7 +39,7 @@ func evaluator(t *testing.T) (*Evaluator, []Result) {
 func byName(t *testing.T, results []Result, name string) Result {
 	t.Helper()
 	for _, r := range results {
-		if r.Design.Name == name {
+		if r.Spec.Name == name {
 			return r
 		}
 	}
@@ -54,16 +55,16 @@ func TestFiveDesignResults(t *testing.T) {
 	for _, r := range results {
 		// Before patch every design is maximally attackable (Fig. 6a).
 		if !mathx.AlmostEqual(r.Before.ASP, 1.0, 1e-9) {
-			t.Errorf("%s before ASP = %v, want 1.0", r.Design.Name, r.Before.ASP)
+			t.Errorf("%s before ASP = %v, want 1.0", r.Spec.Name, r.Before.ASP)
 		}
 		if !mathx.AlmostEqual(r.Before.AIM, 52.2, 1e-9) {
-			t.Errorf("%s before AIM = %v, want 52.2 (same longest path in every design)", r.Design.Name, r.Before.AIM)
+			t.Errorf("%s before AIM = %v, want 52.2 (same longest path in every design)", r.Spec.Name, r.Before.AIM)
 		}
 		if !mathx.AlmostEqual(r.After.AIM, 42.2, 1e-9) {
-			t.Errorf("%s after AIM = %v, want 42.2", r.Design.Name, r.After.AIM)
+			t.Errorf("%s after AIM = %v, want 42.2", r.Spec.Name, r.After.AIM)
 		}
 		if r.After.ASP >= r.Before.ASP {
-			t.Errorf("%s patch must reduce ASP", r.Design.Name)
+			t.Errorf("%s patch must reduce ASP", r.Spec.Name)
 		}
 	}
 }
@@ -131,12 +132,12 @@ func TestPaperObservations(t *testing.T) {
 func TestEquation3Regions(t *testing.T) {
 	_, results := evaluator(t)
 	region1 := Filter(results, ScatterBounds{MaxASP: 0.2, MinCOA: 0.9962})
-	if len(region1) != 2 || region1[0].Design.Name != "D4" || region1[1].Design.Name != "D5" {
+	if len(region1) != 2 || region1[0].Spec.Name != "D4" || region1[1].Spec.Name != "D5" {
 		names := designNames(region1)
 		t.Errorf("region 1 = %v, want [D4 D5]", names)
 	}
 	region2 := Filter(results, ScatterBounds{MaxASP: 0.1, MinCOA: 0.9961})
-	if len(region2) != 1 || region2[0].Design.Name != "D2" {
+	if len(region2) != 1 || region2[0].Spec.Name != "D2" {
 		t.Errorf("region 2 = %v, want [D2]", designNames(region2))
 	}
 }
@@ -146,11 +147,11 @@ func TestEquation3Regions(t *testing.T) {
 func TestEquation4Regions(t *testing.T) {
 	_, results := evaluator(t)
 	region1 := Filter(results, MultiBounds{MaxASP: 0.2, MaxNoEV: 9, MaxNoAP: 2, MaxNoEP: 1, MinCOA: 0.9962})
-	if len(region1) != 1 || region1[0].Design.Name != "D4" {
+	if len(region1) != 1 || region1[0].Spec.Name != "D4" {
 		t.Errorf("region 1 = %v, want [D4]", designNames(region1))
 	}
 	region2 := Filter(results, MultiBounds{MaxASP: 0.1, MaxNoEV: 7, MaxNoAP: 1, MaxNoEP: 1, MinCOA: 0.9961})
-	if len(region2) != 1 || region2[0].Design.Name != "D2" {
+	if len(region2) != 1 || region2[0].Spec.Name != "D2" {
 		t.Errorf("region 2 = %v, want [D2]", designNames(region2))
 	}
 }
@@ -158,7 +159,7 @@ func TestEquation4Regions(t *testing.T) {
 func designNames(results []Result) []string {
 	out := make([]string, len(results))
 	for i, r := range results {
-		out[i] = r.Design.Name
+		out[i] = r.Spec.Name
 	}
 	return out
 }
@@ -171,14 +172,14 @@ func TestParetoFront(t *testing.T) {
 	}
 	// D1 is dominated by D2 (same ASP, higher COA) and must be absent.
 	for _, r := range front {
-		if r.Design.Name == "D1" {
+		if r.Spec.Name == "D1" {
 			t.Error("D1 is dominated by D2 and must not be on the front")
 		}
 	}
 	// D2 (lowest ASP among survivors) and D4 (highest COA) must be on it.
 	var sawD2, sawD4 bool
 	for _, r := range front {
-		switch r.Design.Name {
+		switch r.Spec.Name {
 		case "D2":
 			sawD2 = true
 		case "D4":
@@ -211,7 +212,7 @@ func TestCostModel(t *testing.T) {
 	}
 	for _, r := range results {
 		if c.MonthlyCost(r) < c.MonthlyCost(cheapest) {
-			t.Errorf("Cheapest missed %s", r.Design.Name)
+			t.Errorf("Cheapest missed %s", r.Spec.Name)
 		}
 	}
 	if _, err := c.Cheapest(nil); err == nil {
@@ -367,5 +368,137 @@ func TestEvaluateAllParallelMatchesSerial(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, serial) {
 		t.Fatal("parallel EvaluateAll differs from serial")
+	}
+}
+
+// specTiers builds a classic chain with the given web-tier groups.
+func specTiers(web ...paperdata.TierSpec) []paperdata.TierSpec {
+	tiers := []paperdata.TierSpec{{Role: paperdata.RoleDNS, Replicas: 1}}
+	tiers = append(tiers, web...)
+	return append(tiers,
+		paperdata.TierSpec{Role: paperdata.RoleApp, Replicas: 1},
+		paperdata.TierSpec{Role: paperdata.RoleDB, Replicas: 1})
+}
+
+// TestEvaluateSpecMatchesClassicEvaluate pins the wrapper contract: the
+// 4-int Evaluate and the role-keyed EvaluateSpec must agree exactly for
+// classic designs.
+func TestEvaluateSpecMatchesClassicEvaluate(t *testing.T) {
+	e, _ := evaluator(t)
+	d := paperdata.Design{Name: "eq", DNS: 1, Web: 2, App: 2, DB: 1}
+	classic, err := e.Evaluate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := e.EvaluateSpec(d.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(classic, spec) {
+		t.Fatal("EvaluateSpec differs from Evaluate for a classic design")
+	}
+}
+
+// TestEvaluateSpecHeterogeneousWebTier evaluates the paper's §V variant
+// deployment through the spec path: a web tier mixing Apache and Nginx
+// shares no vulnerability between its replicas, so the after-patch attack
+// success probability drops below the homogeneous twin's while the tier
+// still backs itself up for availability.
+func TestEvaluateSpecHeterogeneousWebTier(t *testing.T) {
+	e, _ := evaluator(t)
+	homog, err := e.EvaluateSpec(paperdata.DesignSpec{
+		Name:  "homog",
+		Tiers: specTiers(paperdata.TierSpec{Role: paperdata.RoleWeb, Replicas: 2}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero, err := e.EvaluateSpec(paperdata.DesignSpec{
+		Name: "hetero",
+		Tiers: specTiers(
+			paperdata.TierSpec{Role: paperdata.RoleWeb, Replicas: 1},
+			paperdata.TierSpec{Role: paperdata.RoleWeb, Replicas: 1, Variant: paperdata.RoleWebAlt}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 DNS leaf + 5 Apache leaves + 3 Nginx leaves + 5 app + 5 db.
+	if hetero.Before.NoEV != 19 {
+		t.Errorf("heterogeneous NoEV before = %d, want 19", hetero.Before.NoEV)
+	}
+	if hetero.After.ASP >= homog.After.ASP {
+		t.Errorf("heterogeneous after-patch ASP = %v, want below homogeneous %v",
+			hetero.After.ASP, homog.After.ASP)
+	}
+	if hetero.COA <= 0 || hetero.COA > 1 || hetero.ServiceAvailability < homog.ServiceAvailability-1e-3 {
+		t.Errorf("implausible heterogeneous availability: COA %v, service %v (homogeneous %v)",
+			hetero.COA, hetero.ServiceAvailability, homog.ServiceAvailability)
+	}
+}
+
+// TestRankPatchesHonoursPolicy pins the satellite fix: the ranking must
+// come from the evaluator's own policy, not the paper defaults — a
+// critical-threshold study ranks only its critical set, a PatchAll study
+// ranks every distinct vulnerability.
+func TestRankPatchesHonoursPolicy(t *testing.T) {
+	e, _ := evaluator(t)
+	spec := paperdata.BaseDesign().Spec()
+	critical, err := e.RankPatches(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(critical) != 9 {
+		t.Fatalf("critical policy ranked %d CVEs, want the 9 with base score > 8.0", len(critical))
+	}
+	for _, c := range critical {
+		if c.Ref == "CVE-2016-4997" {
+			t.Error("CVE-2016-4997 (base 7.2) ranked under the critical policy")
+		}
+	}
+
+	all := patch.Policy{PatchAll: true}
+	ePA, err := NewEvaluator(Options{Policy: &all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	everything, err := ePA.RankPatches(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(everything) != 15 {
+		t.Fatalf("patch-all policy ranked %d CVEs, want all 15 distinct", len(everything))
+	}
+}
+
+// TestPlanCampaignUsesEvaluatorPolicy checks the campaign surface: a
+// PatchAll evaluator plans more work than the critical-policy default.
+func TestPlanCampaignUsesEvaluatorPolicy(t *testing.T) {
+	e, _ := evaluator(t)
+	crit, err := e.PlanCampaign(paperdata.RoleWeb, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := patch.Policy{PatchAll: true}
+	ePA, err := NewEvaluator(Options{Policy: &all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ePA.PlanCampaign(paperdata.RoleWeb, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvulns := func(c patch.Campaign) int {
+		n := len(c.Deferred)
+		for _, r := range c.Rounds {
+			n += len(r.Selected)
+		}
+		return n
+	}
+	if nvulns(full) <= nvulns(crit) {
+		t.Errorf("patch-all campaign covers %d vulns, critical %d; want strictly more",
+			nvulns(full), nvulns(crit))
+	}
+	if _, err := e.PlanCampaign("nosuchrole", 30*time.Minute); err == nil {
+		t.Error("unknown role accepted")
 	}
 }

@@ -12,8 +12,17 @@
 // cost modelling. The engines live in internal packages (srn, ctmc, harm,
 // availability, ...) and are exercised through examples/ and cmd/.
 //
+// Designs are described by role-keyed DesignSpecs — ordered tier groups
+// with replica counts and optional stack variants — evaluated through
+// EvaluateSpec and swept through SweepSpec. The fixed 4-int methods
+// (EvaluateDesign, Sweep, ...) remain as thin deprecated wrappers over
+// the spec path.
+//
 //	study, err := redpatch.NewCaseStudy()
-//	r, err := study.EvaluateDesign("mine", 1, 2, 2, 1)
+//	r, err := study.EvaluateSpec(redpatch.DesignSpec{Name: "mine", Tiers: []redpatch.TierSpec{
+//		{Role: "dns", Replicas: 1}, {Role: "web", Replicas: 2},
+//		{Role: "app", Replicas: 2}, {Role: "db", Replicas: 1},
+//	}})
 //	fmt.Println(r.COA, r.After.ASP)
 package redpatch
 
@@ -22,7 +31,6 @@ import (
 	"fmt"
 	"time"
 
-	"redpatch/internal/attacktree"
 	"redpatch/internal/availability"
 	"redpatch/internal/engine"
 	"redpatch/internal/harm"
@@ -55,11 +63,61 @@ func summarize(m harm.Metrics) SecuritySummary {
 	return SecuritySummary{AIM: m.AIM, ASP: m.ASP, NoEV: m.NoEV, NoAP: m.NoAP, NoEP: m.NoEP}
 }
 
+// TierSpec is one redundancy group of a role-keyed design: Replicas
+// servers serving the logical tier Role. Variant, when non-empty,
+// selects an alternate software stack (e.g. "webalt" — Nginx on Ubuntu —
+// for a "web" tier) with its own vulnerability set and patch plan.
+// Several TierSpecs may share a Role: they then form one heterogeneous
+// logical tier, available while any of its servers is up.
+type TierSpec struct {
+	Role     string `json:"role"`
+	Replicas int    `json:"replicas"`
+	Variant  string `json:"variant,omitempty"`
+}
+
+// DesignSpec is a role-keyed redundancy design: an ordered list of tier
+// groups forming the network's logical chain. It generalizes the paper's
+// fixed (DNS, Web, App, DB) tuple to arbitrary tier sequences and
+// heterogeneous variants. An empty Name gets the canonical compact name.
+type DesignSpec struct {
+	Name  string     `json:"name,omitempty"`
+	Tiers []TierSpec `json:"tiers"`
+}
+
+// pd converts to the internal representation.
+func (s DesignSpec) pd() paperdata.DesignSpec {
+	out := paperdata.DesignSpec{Name: s.Name, Tiers: make([]paperdata.TierSpec, len(s.Tiers))}
+	for i, t := range s.Tiers {
+		out.Tiers[i] = paperdata.TierSpec{Role: t.Role, Replicas: t.Replicas, Variant: t.Variant}
+	}
+	return out
+}
+
+func specFromPD(s paperdata.DesignSpec) DesignSpec {
+	out := DesignSpec{Name: s.Name, Tiers: make([]TierSpec, len(s.Tiers))}
+	for i, t := range s.Tiers {
+		out.Tiers[i] = TierSpec{Role: t.Role, Replicas: t.Replicas, Variant: t.Variant}
+	}
+	return out
+}
+
+// ClassicSpec builds the paper's four-tier homogeneous spec from the
+// classic replica tuple — the shape every deprecated 4-int method
+// evaluates.
+func ClassicSpec(name string, dns, web, app, db int) DesignSpec {
+	return specFromPD(paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}.Spec())
+}
+
+// Validate checks the spec without evaluating it.
+func (s DesignSpec) Validate() error { return s.pd().Validate() }
+
 // DesignReport is the combined evaluation of one redundancy design.
 type DesignReport struct {
 	// Name labels the design; Description renders it in the paper's
 	// "1 DNS + 2 WEB + 2 APP + 1 DB" notation.
 	Name, Description string
+	// Spec is the role-keyed design the report was evaluated from.
+	Spec DesignSpec
 	// Servers is the total server count.
 	Servers int
 	// Before and After are the security metrics around the patch round.
@@ -164,16 +222,29 @@ func NewCaseStudyWithConfig(cfg Config) (*CaseStudy, error) {
 	return &CaseStudy{eval: e, eng: eng}, nil
 }
 
-// EvaluateDesign evaluates a redundancy design given per-tier replica
-// counts (each at least 1). Repeat evaluations of the same tuple are
-// served from the engine cache.
-func (s *CaseStudy) EvaluateDesign(name string, dns, web, app, db int) (DesignReport, error) {
-	d := paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}
-	r, err := s.eng.Evaluate(d)
+// EvaluateSpec evaluates a role-keyed design. Repeat evaluations of the
+// same spec identity (tier order, roles, variants, replica counts) are
+// served from the engine cache regardless of name.
+func (s *CaseStudy) EvaluateSpec(spec DesignSpec) (DesignReport, error) {
+	p := spec.pd()
+	if spec.Name == "" {
+		p.Name = p.CanonicalName()
+	}
+	r, err := s.eng.EvaluateSpec(p)
 	if err != nil {
 		return DesignReport{}, err
 	}
 	return convert(r), nil
+}
+
+// EvaluateDesign evaluates a classic design given per-tier replica
+// counts (each at least 1).
+//
+// Deprecated: use EvaluateSpec, which also expresses arbitrary tier
+// chains and heterogeneous variants. This wrapper evaluates the
+// equivalent four-tier spec and produces an identical report.
+func (s *CaseStudy) EvaluateDesign(name string, dns, web, app, db int) (DesignReport, error) {
+	return s.EvaluateSpec(ClassicSpec(name, dns, web, app, db))
 }
 
 // PaperDesigns evaluates the five design choices of the paper's §IV in
@@ -225,9 +296,10 @@ func (s *CaseStudy) PatchRates() map[string]PatchRates {
 
 func convert(r redundancy.Result) DesignReport {
 	return DesignReport{
-		Name:                r.Design.Name,
-		Description:         r.Design.String(),
-		Servers:             r.Design.Total(),
+		Name:                r.Spec.Name,
+		Description:         r.Spec.String(),
+		Spec:                specFromPD(r.Spec),
+		Servers:             r.Spec.Total(),
 		Before:              summarize(r.Before),
 		After:               summarize(r.After),
 		COA:                 r.COA,
@@ -236,20 +308,20 @@ func convert(r redundancy.Result) DesignReport {
 }
 
 // ScatterBounds are the Eq. 3 administrator bounds: an ASP ceiling (phi)
-// and a COA floor (psi).
+// and a COA floor (psi). The JSON tags are the redpatchd v2 wire shape.
 type ScatterBounds struct {
-	MaxASP float64
-	MinCOA float64
+	MaxASP float64 `json:"maxAsp"`
+	MinCOA float64 `json:"minCoa"`
 }
 
 // MultiBounds are the Eq. 4 administrator bounds over four security
-// metrics and COA.
+// metrics and COA. The JSON tags are the redpatchd v2 wire shape.
 type MultiBounds struct {
-	MaxASP  float64
-	MaxNoEV int
-	MaxNoAP int
-	MaxNoEP int
-	MinCOA  float64
+	MaxASP  float64 `json:"maxAsp"`
+	MaxNoEV int     `json:"maxNoev"`
+	MaxNoAP int     `json:"maxNoap"`
+	MaxNoEP int     `json:"maxNoep"`
+	MinCOA  float64 `json:"minCoa"`
 }
 
 // SatisfiesScatter implements the paper's Eq. 3 on a design report.
@@ -357,26 +429,14 @@ type PatchPriority struct {
 	ASPAfter float64
 }
 
-// RankPatches ranks the unpatched vulnerabilities of a design by the
-// network-level risk reduction of patching each alone — the
-// prioritization an administrator needs when the whole critical set does
-// not fit one maintenance window.
-func (s *CaseStudy) RankPatches(name string, dns, web, app, db int) ([]PatchPriority, error) {
-	d := paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}
-	top, err := paperdata.Topology(d)
-	if err != nil {
-		return nil, err
-	}
-	vdb := paperdata.VulnDB()
-	h, err := harm.Build(harm.BuildInput{
-		Topology:    top,
-		Trees:       paperdata.Trees(vdb),
-		TargetRoles: []string{paperdata.RoleDB},
-	})
-	if err != nil {
-		return nil, err
-	}
-	candidates, err := h.RankPatchCandidates(harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy})
+// RankPatchesSpec ranks the case study's policy-selected vulnerabilities
+// of a role-keyed design by the network-level risk reduction of patching
+// each alone — the prioritization an administrator needs when the
+// selected set does not fit one maintenance window. The ranking uses the
+// study's configured policy: a PatchAll study ranks every vulnerability,
+// a threshold study only its critical set.
+func (s *CaseStudy) RankPatchesSpec(spec DesignSpec) ([]PatchPriority, error) {
+	candidates, err := s.eval.RankPatches(spec.pd())
 	if err != nil {
 		return nil, err
 	}
@@ -392,22 +452,83 @@ func (s *CaseStudy) RankPatches(name string, dns, web, app, db int) ([]PatchPrio
 	return out, nil
 }
 
-// MeanTimeToServiceOutage returns the expected hours from an all-up start
-// until some tier of the design first loses all servers to patching.
-func (s *CaseStudy) MeanTimeToServiceOutage(name string, dns, web, app, db int) (float64, error) {
-	d := paperdata.Design{Name: name, DNS: dns, Web: web, App: app, DB: db}
-	if err := d.Validate(); err != nil {
+// RankPatches ranks the policy-selected vulnerabilities of a classic
+// design.
+//
+// Deprecated: use RankPatchesSpec.
+func (s *CaseStudy) RankPatches(name string, dns, web, app, db int) ([]PatchPriority, error) {
+	return s.RankPatchesSpec(ClassicSpec(name, dns, web, app, db))
+}
+
+// CampaignRound is one maintenance round of a patch campaign.
+type CampaignRound struct {
+	// CVEs are the vulnerabilities patched in the round.
+	CVEs []string `json:"cves"`
+	// DowntimeMinutes is the round's service outage (patches plus merged
+	// reboots).
+	DowntimeMinutes float64 `json:"downtimeMinutes"`
+}
+
+// CampaignPlan splits one stack role's policy-selected patches across
+// maintenance rounds bounded by a per-round window.
+type CampaignPlan struct {
+	// Role is the stack role the plan covers.
+	Role string `json:"role"`
+	// WindowMinutes is the per-round downtime budget.
+	WindowMinutes float64 `json:"windowMinutes"`
+	// Rounds are the planned rounds in execution order, most severe
+	// vulnerabilities earliest.
+	Rounds []CampaignRound `json:"rounds"`
+	// Deferred lists vulnerabilities whose lone patch exceeds the window.
+	Deferred []string `json:"deferred,omitempty"`
+	// TotalDowntimeMinutes sums the rounds.
+	TotalDowntimeMinutes float64 `json:"totalDowntimeMinutes"`
+}
+
+// PlanCampaign distributes the policy-selected patches of a stack role
+// ("dns", "web", "webalt", ...) over successive rounds so no round's
+// downtime exceeds the window — the paper's §III multi-month patching
+// future work, under the study's own policy and schedule.
+func (s *CaseStudy) PlanCampaign(role string, window time.Duration) (CampaignPlan, error) {
+	camp, err := s.eval.PlanCampaign(role, window)
+	if err != nil {
+		return CampaignPlan{}, err
+	}
+	out := CampaignPlan{
+		Role:                 role,
+		WindowMinutes:        window.Minutes(),
+		Rounds:               make([]CampaignRound, len(camp.Rounds)),
+		TotalDowntimeMinutes: camp.TotalDowntime().Minutes(),
+	}
+	for i, r := range camp.Rounds {
+		round := CampaignRound{DowntimeMinutes: r.TotalDowntime().Minutes()}
+		for _, v := range r.Selected {
+			round.CVEs = append(round.CVEs, v.ID)
+		}
+		out.Rounds[i] = round
+	}
+	for _, v := range camp.Deferred {
+		out.Deferred = append(out.Deferred, v.ID)
+	}
+	return out, nil
+}
+
+// MeanTimeToServiceOutageSpec returns the expected hours from an all-up
+// start until some logical tier of the design first loses all servers to
+// patching.
+func (s *CaseStudy) MeanTimeToServiceOutageSpec(spec DesignSpec) (float64, error) {
+	nm, err := s.eval.NetworkModelFor(spec.pd())
+	if err != nil {
 		return 0, err
 	}
-	agg := s.eval.AggregatedRates()
-	var nm availability.NetworkModel
-	for _, role := range paperdata.Roles() {
-		a := agg[role]
-		nm.Tiers = append(nm.Tiers, availability.Tier{
-			Name: role, N: d.Counts()[role], LambdaEq: a.LambdaEq, MuEq: a.MuEq,
-		})
-	}
 	return availability.MeanTimeToServiceDown(nm)
+}
+
+// MeanTimeToServiceOutage is the classic-tuple MeanTimeToServiceOutageSpec.
+//
+// Deprecated: use MeanTimeToServiceOutageSpec.
+func (s *CaseStudy) MeanTimeToServiceOutage(name string, dns, web, app, db int) (float64, error) {
+	return s.MeanTimeToServiceOutageSpec(ClassicSpec(name, dns, web, app, db))
 }
 
 // EnumerateDesigns evaluates every design with 1..maxPerTier replicas per
@@ -433,36 +554,38 @@ type SweepRange struct {
 	Min, Max int
 }
 
-// SweepRequest describes a design-space sweep: a replica range per tier
-// plus optional administrator bounds. Designs failing a configured bound
-// are dropped as they are evaluated, never accumulated.
-type SweepRequest struct {
-	DNS, Web, App, DB SweepRange
+// TierSweep is one tier of a role-keyed sweep: an inclusive replica
+// range plus the stack variants to enumerate. An empty Variants set
+// sweeps the role's own stack only; listing variants (the empty string
+// stands for the base stack) multiplies the space by the stack choices —
+// the paper's §V heterogeneous-redundancy exploration.
+type TierSweep struct {
+	Role     string   `json:"role"`
+	Min      int      `json:"min"`
+	Max      int      `json:"max"`
+	Variants []string `json:"variants,omitempty"`
+}
+
+// SpecSweepRequest describes a role-keyed design-space sweep: an ordered
+// list of tier sweeps plus optional administrator bounds. Designs
+// failing a configured bound are dropped as they are evaluated, never
+// accumulated.
+type SpecSweepRequest struct {
+	Tiers []TierSweep `json:"tiers"`
 	// Scatter, when non-nil, applies the Eq. 3 bounds.
-	Scatter *ScatterBounds
+	Scatter *ScatterBounds `json:"scatter,omitempty"`
 	// Multi, when non-nil, applies the Eq. 4 bounds.
-	Multi *MultiBounds
+	Multi *MultiBounds `json:"multi,omitempty"`
 }
 
-// FullSweep requests every design with 1..maxPerTier replicas per tier.
-// maxPerTier < 1 yields a request that fails Validate (and therefore
-// Sweep) instead of silently sweeping a single design.
-func FullSweep(maxPerTier int) SweepRequest {
-	spec := engine.FullSpace(maxPerTier)
-	return SweepRequest{
-		DNS: SweepRange(spec.DNS),
-		Web: SweepRange(spec.Web),
-		App: SweepRange(spec.App),
-		DB:  SweepRange(spec.DB),
-	}
-}
-
-func (r SweepRequest) spec() engine.SweepSpec {
-	spec := engine.SweepSpec{
-		DNS: engine.Range(r.DNS),
-		Web: engine.Range(r.Web),
-		App: engine.Range(r.App),
-		DB:  engine.Range(r.DB),
+func (r SpecSweepRequest) spec() engine.SweepSpec {
+	spec := engine.SweepSpec{Tiers: make([]engine.TierSweep, len(r.Tiers))}
+	for i, t := range r.Tiers {
+		spec.Tiers[i] = engine.TierSweep{
+			Role:     t.Role,
+			Replicas: engine.Range{Min: t.Min, Max: t.Max},
+			Variants: t.Variants,
+		}
 	}
 	if r.Scatter != nil {
 		spec.Scatter = &redundancy.ScatterBounds{MaxASP: r.Scatter.MaxASP, MinCOA: r.Scatter.MinCOA}
@@ -476,12 +599,59 @@ func (r SweepRequest) spec() engine.SweepSpec {
 	return spec
 }
 
+// SweepSize returns the number of designs the request enumerates,
+// without evaluating any.
+func (r SpecSweepRequest) SweepSize() int { return r.spec().Size() }
+
+// Validate rejects requests with no tiers, unknown roles or variants,
+// and nonsensical replica ranges.
+func (r SpecSweepRequest) Validate() error { return r.spec().Validate() }
+
+// SweepRequest describes a classic design-space sweep: a replica range
+// per fixed tier plus optional administrator bounds.
+//
+// Deprecated: use SpecSweepRequest, which also sweeps arbitrary tier
+// chains and variant sets. A SweepRequest sweeps the equivalent
+// four-tier spec with identical results.
+type SweepRequest struct {
+	DNS, Web, App, DB SweepRange
+	// Scatter, when non-nil, applies the Eq. 3 bounds.
+	Scatter *ScatterBounds
+	// Multi, when non-nil, applies the Eq. 4 bounds.
+	Multi *MultiBounds
+}
+
+// FullSweep requests every design with 1..maxPerTier replicas per tier.
+// maxPerTier < 1 yields a request that fails Validate (and therefore
+// Sweep) instead of silently sweeping a single design.
+func FullSweep(maxPerTier int) SweepRequest {
+	r := SweepRange{Min: 1, Max: maxPerTier}
+	if maxPerTier < 1 {
+		r = SweepRange{Min: 1, Max: -1}
+	}
+	return SweepRequest{DNS: r, Web: r, App: r, DB: r}
+}
+
+// Spec converts the classic request into its role-keyed equivalent.
+func (r SweepRequest) Spec() SpecSweepRequest {
+	return SpecSweepRequest{
+		Tiers: []TierSweep{
+			{Role: paperdata.RoleDNS, Min: r.DNS.Min, Max: r.DNS.Max},
+			{Role: paperdata.RoleWeb, Min: r.Web.Min, Max: r.Web.Max},
+			{Role: paperdata.RoleApp, Min: r.App.Min, Max: r.App.Max},
+			{Role: paperdata.RoleDB, Min: r.DB.Min, Max: r.DB.Max},
+		},
+		Scatter: r.Scatter,
+		Multi:   r.Multi,
+	}
+}
+
 // SweepSize returns the number of designs a request enumerates, without
 // evaluating any.
-func (r SweepRequest) SweepSize() int { return r.spec().Size() }
+func (r SweepRequest) SweepSize() int { return r.Spec().SweepSize() }
 
 // Validate rejects nonsensical replica ranges (negative or inverted).
-func (r SweepRequest) Validate() error { return r.spec().Validate() }
+func (r SweepRequest) Validate() error { return r.Spec().Validate() }
 
 // SweepSummary is a completed sweep.
 type SweepSummary struct {
@@ -496,10 +666,10 @@ type SweepSummary struct {
 	Pareto []DesignReport
 }
 
-// Sweep evaluates the requested design space on the engine's worker pool
-// and returns the bound-filtered reports plus their Pareto front. The
-// context cancels an in-flight sweep.
-func (s *CaseStudy) Sweep(ctx context.Context, req SweepRequest) (SweepSummary, error) {
+// SweepSpec evaluates the requested role-keyed design space on the
+// engine's worker pool and returns the bound-filtered reports plus their
+// Pareto front. The context cancels an in-flight sweep.
+func (s *CaseStudy) SweepSpec(ctx context.Context, req SpecSweepRequest) (SweepSummary, error) {
 	res, err := s.eng.Sweep(ctx, req.spec())
 	if err != nil {
 		return SweepSummary{}, err
@@ -518,10 +688,10 @@ func (s *CaseStudy) Sweep(ctx context.Context, req SweepRequest) (SweepSummary, 
 	return out, nil
 }
 
-// SweepPareto evaluates the requested design space but returns only its
-// Pareto front (plus the enumerated-design count) — for callers that do
-// not need the full kept set.
-func (s *CaseStudy) SweepPareto(ctx context.Context, req SweepRequest) (int, []DesignReport, error) {
+// SweepSpecPareto evaluates the requested design space but returns only
+// its Pareto front (plus the enumerated-design count) — for callers that
+// do not need the full kept set.
+func (s *CaseStudy) SweepSpecPareto(ctx context.Context, req SpecSweepRequest) (int, []DesignReport, error) {
 	total, front, err := s.eng.SweepPareto(ctx, req.spec())
 	if err != nil {
 		return 0, nil, err
@@ -533,14 +703,36 @@ func (s *CaseStudy) SweepPareto(ctx context.Context, req SweepRequest) (int, []D
 	return total, out, nil
 }
 
-// SweepEach streams every report passing the request's bounds to fn as
-// designs finish evaluating (completion order). fn runs on one collector
-// goroutine; returning an error cancels the sweep. The total number of
-// enumerated designs is returned.
-func (s *CaseStudy) SweepEach(ctx context.Context, req SweepRequest, fn func(DesignReport) error) (int, error) {
+// SweepSpecEach streams every report passing the request's bounds to fn
+// as designs finish evaluating (completion order). fn runs on one
+// collector goroutine; returning an error cancels the sweep. The total
+// number of enumerated designs is returned.
+func (s *CaseStudy) SweepSpecEach(ctx context.Context, req SpecSweepRequest, fn func(DesignReport) error) (int, error) {
 	return s.eng.SweepFunc(ctx, req.spec(), func(r redundancy.Result) error {
 		return fn(convert(r))
 	})
+}
+
+// Sweep evaluates a classic design space.
+//
+// Deprecated: use SweepSpec.
+func (s *CaseStudy) Sweep(ctx context.Context, req SweepRequest) (SweepSummary, error) {
+	return s.SweepSpec(ctx, req.Spec())
+}
+
+// SweepPareto evaluates a classic design space, returning only the
+// Pareto front.
+//
+// Deprecated: use SweepSpecPareto.
+func (s *CaseStudy) SweepPareto(ctx context.Context, req SweepRequest) (int, []DesignReport, error) {
+	return s.SweepSpecPareto(ctx, req.Spec())
+}
+
+// SweepEach streams a classic design space.
+//
+// Deprecated: use SweepSpecEach.
+func (s *CaseStudy) SweepEach(ctx context.Context, req SweepRequest, fn func(DesignReport) error) (int, error) {
+	return s.SweepSpecEach(ctx, req.Spec(), fn)
 }
 
 // EngineStats reports the evaluation engine's cache behaviour: Solves is

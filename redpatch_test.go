@@ -186,16 +186,13 @@ func TestRankPatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ranked) != 15 {
-		t.Fatalf("ranked = %d, want 15 distinct CVEs (CVE-2016-4997 is shared)", len(ranked))
+	// The ranking covers the study's policy-selected set: under the
+	// default critical policy, the 9 distinct CVEs with base score > 8.0.
+	if len(ranked) != 9 {
+		t.Fatalf("ranked = %d, want the 9 critical CVEs", len(ranked))
 	}
 	if ranked[0].CVE != "CVE-2016-3227" {
 		t.Errorf("top candidate = %s, want CVE-2016-3227 (removes the DNS stepping stone)", ranked[0].CVE)
-	}
-	for _, r := range ranked {
-		if r.CVE == "CVE-2016-4997" && len(r.Hosts) != 3 {
-			t.Errorf("CVE-2016-4997 hosts = %v, want app1, app2, db1", r.Hosts)
-		}
 	}
 	for i := 1; i < len(ranked); i++ {
 		if ranked[i-1].RiskReduction < ranked[i].RiskReduction-1e-12 {
@@ -204,6 +201,26 @@ func TestRankPatches(t *testing.T) {
 	}
 	if _, err := s.RankPatches("bad", 0, 1, 1, 1); err == nil {
 		t.Error("invalid design should fail")
+	}
+
+	// A PatchAll study ranks every distinct vulnerability — the policy
+	// the ranking once ignored (it always ranked all 15 from the paper
+	// defaults, whatever the study was configured to patch).
+	all, err := NewCaseStudyWithConfig(Config{PatchAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rankedAll, err := all.RankPatches("base", 1, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rankedAll) != 15 {
+		t.Fatalf("patch-all ranked = %d, want 15 distinct CVEs (CVE-2016-4997 is shared)", len(rankedAll))
+	}
+	for _, r := range rankedAll {
+		if r.CVE == "CVE-2016-4997" && len(r.Hosts) != 3 {
+			t.Errorf("CVE-2016-4997 hosts = %v, want app1, app2, db1", r.Hosts)
+		}
 	}
 }
 
