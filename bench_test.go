@@ -446,7 +446,10 @@ func BenchmarkScalabilityHARM(b *testing.B) {
 }
 
 // BenchmarkScalabilitySRN measures upper-layer availability solving as
-// replica counts grow: the CTMC has (n+1)^4 states.
+// replica counts grow: the state space spans (n+1)^4 states. Since PR 3
+// SolveNetwork dispatches PerServer models to the factored per-tier
+// solver, so this measures the production path; the generated-SRN
+// elimination it replaced is BenchmarkScalabilitySRNOracle.
 func BenchmarkScalabilitySRN(b *testing.B) {
 	base := paperNetworkModel(b)
 	for _, n := range []int{2, 4, 8} {
@@ -465,6 +468,62 @@ func BenchmarkScalabilitySRN(b *testing.B) {
 				want := (n + 1) * (n + 1) * (n + 1) * (n + 1)
 				if sol.States != want {
 					b.Fatalf("states = %d, want %d", sol.States, want)
+				}
+				if !sol.Factored {
+					b.Fatal("PerServer model not dispatched to the factored path")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalabilitySRNOracle measures the generated-SRN path the
+// factored solver replaced (kept as the SingleRepair solver and the
+// cross-validation oracle): state-space generation plus CTMC steady
+// state over (n+1)^4 states.
+func BenchmarkScalabilitySRNOracle(b *testing.B) {
+	base := paperNetworkModel(b)
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			nm := availability.NetworkModel{Tiers: append([]availability.Tier(nil), base.Tiers...)}
+			for i := range nm.Tiers {
+				nm.Tiers[i].N = n
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := availability.SolveNetworkSRN(nm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				want := (n + 1) * (n + 1) * (n + 1) * (n + 1)
+				if sol.States != want {
+					b.Fatalf("states = %d, want %d", sol.States, want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalabilityFactored pushes the factored solver past where the
+// product CTMC stops being generable at all: 33^4 through 257^4 states.
+func BenchmarkScalabilityFactored(b *testing.B) {
+	base := paperNetworkModel(b)
+	for _, n := range []int{32, 64, 256} {
+		n := n
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			nm := availability.NetworkModel{Tiers: append([]availability.Tier(nil), base.Tiers...)}
+			for i := range nm.Tiers {
+				nm.Tiers[i].N = n
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := availability.SolveNetwork(nm)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.COA <= 0 || sol.COA >= 1 {
+					b.Fatalf("implausible COA %v", sol.COA)
 				}
 			}
 		})
@@ -594,6 +653,33 @@ func BenchmarkSweepParallel(b *testing.B) {
 		}
 		if _, err := eng.Sweep(ctx, spec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCold81 is the sweep-scale headline: the 81-design 3^4
+// replica space evaluated cold (fresh engine and evaluator memo per
+// iteration). The factored path holds the availability work to one tier
+// solve per distinct (role, replicas) pair — 12 for this space.
+func BenchmarkSweepCold81(b *testing.B) {
+	ev, err := redundancy.NewEvaluator(redundancy.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := engine.FullSpace(3)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := engine.New(ev, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Sweep(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total != 81 {
+			b.Fatalf("total = %d, want 81", res.Total)
 		}
 	}
 }

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	redpatchd [-addr :8080] [-workers N] [-max-designs N] [-max-replicas N]
-//	          [-max-tiers N] [-max-scenarios N]
+//	          [-max-tiers N] [-max-scenarios N] [-pprof]
 //	          [-critical-threshold s] [-patch-all] [-interval-hours h]
 //
 // Endpoints:
@@ -26,6 +26,10 @@
 //	POST   /api/v2/sweep/stream     the sweep as flushed NDJSON chunks
 //	POST   /api/v2/rank-patches     policy-aware single-patch ranking
 //	POST   /api/v2/plan-campaign    maintenance-window campaign planning
+//
+// With -pprof the daemon additionally mounts net/http/pprof under
+// /debug/pprof/ so sweep hot spots can be profiled in production; the
+// endpoints are off by default because they expose runtime internals.
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +62,7 @@ func main() {
 		threshold    = flag.Float64("critical-threshold", 0, "CVSS base-score patch threshold; 0 selects the paper's 8.0")
 		patchAll     = flag.Bool("patch-all", false, "patch every vulnerability regardless of score")
 		interval     = flag.Float64("interval-hours", 0, "patch cadence in hours; 0 selects the paper's monthly 720")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	)
 	flag.Parse()
 
@@ -75,6 +81,7 @@ func main() {
 		maxTiers:     *maxTiers,
 		maxScenarios: *maxScenarios,
 		workers:      *workers,
+		pprof:        *pprofOn,
 		defaultConfig: scenarioConfig{
 			CriticalThreshold: *threshold,
 			PatchAll:          *patchAll,
@@ -109,11 +116,12 @@ func main() {
 // serverConfig carries every request cap and registry parameter in one
 // place; zero-value fields select the documented defaults.
 type serverConfig struct {
-	maxDesigns   int // largest enumerable sweep space (default 4096)
-	maxReplicas  int // largest per-tier replica count (default 16)
-	maxTiers     int // largest tier-group count per spec (default 8)
-	maxScenarios int // registry capacity (default 32)
-	workers      int // per-scenario worker pool; 0 = GOMAXPROCS
+	maxDesigns   int  // largest enumerable sweep space (default 4096)
+	maxReplicas  int  // largest per-tier replica count (default 16)
+	maxTiers     int  // largest tier-group count per spec (default 8)
+	maxScenarios int  // registry capacity (default 32)
+	workers      int  // per-scenario worker pool; 0 = GOMAXPROCS
+	pprof        bool // mount /debug/pprof/ (opt-in)
 	// defaultConfig is reported as the default scenario's configuration.
 	defaultConfig scenarioConfig
 }
@@ -128,6 +136,7 @@ type server struct {
 	maxReplicas int
 	maxTiers    int
 	maxStates   int
+	pprof       bool
 	started     time.Time
 }
 
@@ -150,6 +159,7 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) *server {
 		// The classic space caps at (maxReplicas+1)^4 CTMC states; hold
 		// arbitrary tier chains to the same order of magnitude.
 		maxStates: 1 << 20,
+		pprof:     cfg.pprof,
 		started:   time.Now(),
 	}
 }
@@ -181,18 +191,42 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /api/v2/sweep/stream", s.handleSweepStream)
 	mux.HandleFunc("POST /api/v2/rank-patches", s.handleRankPatches)
 	mux.HandleFunc("POST /api/v2/plan-campaign", s.handlePlanCampaign)
+	if s.pprof {
+		// Explicit registrations rather than the net/http/pprof side
+		// effect: the daemon never serves http.DefaultServeMux. No
+		// method restriction — pprof tooling POSTs to /symbol.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 // statsJSON mirrors redpatch.EngineStats in the wire format.
 type statsJSON struct {
-	Solves uint64 `json:"solves"`
-	Hits   uint64 `json:"hits"`
+	Solves         uint64 `json:"solves"`
+	Hits           uint64 `json:"hits"`
+	FactoredSolves uint64 `json:"factoredSolves"`
+	SRNSolves      uint64 `json:"srnSolves"`
+	TierSolves     uint64 `json:"tierSolves"`
+	TierFactorHits uint64 `json:"tierFactorHits"`
+}
+
+func toStatsJSON(st redpatch.EngineStats) statsJSON {
+	return statsJSON{
+		Solves:         st.Solves,
+		Hits:           st.Hits,
+		FactoredSolves: st.FactoredSolves,
+		SRNSolves:      st.SRNSolves,
+		TierSolves:     st.TierSolves,
+		TierFactorHits: st.TierFactorHits,
+	}
 }
 
 func (s *server) stats() statsJSON {
-	st := s.study.EngineStats()
-	return statsJSON{Solves: st.Solves, Hits: st.Hits}
+	return toStatsJSON(s.study.EngineStats())
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -290,3 +290,47 @@ func (e *httpError) Error() string {
 	b.WriteString(e.body)
 	return b.String()
 }
+
+// TestPprofOptIn: the profiling endpoints exist only behind the -pprof
+// flag — they expose runtime internals and default off.
+func TestPprofOptIn(t *testing.T) {
+	off := testServer(t).handler()
+	if w := do(t, off, http.MethodGet, "/debug/pprof/cmdline", ""); w.Code != http.StatusNotFound {
+		t.Errorf("pprof disabled: status = %d, want 404", w.Code)
+	}
+	on := newServer(testServer(t).study, serverConfig{pprof: true}).handler()
+	if w := do(t, on, http.MethodGet, "/debug/pprof/cmdline", ""); w.Code != http.StatusOK {
+		t.Errorf("pprof enabled: status = %d, want 200", w.Code)
+	}
+	if w := do(t, on, http.MethodGet, "/debug/pprof/", ""); w.Code != http.StatusOK {
+		t.Errorf("pprof index: status = %d, want 200", w.Code)
+	}
+}
+
+// TestHealthzSolverCounters: after at least one evaluation the engine
+// block must report the factored-solver dispatch counters.
+func TestHealthzSolverCounters(t *testing.T) {
+	h := testServer(t).handler()
+	if w := do(t, h, http.MethodPost, "/api/v1/evaluate", `{"name":"c1","dns":1,"web":1,"app":2,"db":1}`); w.Code != http.StatusOK {
+		t.Fatalf("evaluate status = %d: %s", w.Code, w.Body)
+	}
+	w := do(t, h, http.MethodGet, "/healthz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var body struct {
+		Engine statsJSON `json:"engine"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Engine.FactoredSolves == 0 {
+		t.Errorf("factoredSolves = 0 after an evaluation: %+v", body.Engine)
+	}
+	if body.Engine.SRNSolves != 0 {
+		t.Errorf("srnSolves = %d, want 0 (PerServer models)", body.Engine.SRNSolves)
+	}
+	if body.Engine.TierSolves == 0 || body.Engine.TierSolves > 4*body.Engine.FactoredSolves {
+		t.Errorf("tierSolves = %d out of plausible range: %+v", body.Engine.TierSolves, body.Engine)
+	}
+}

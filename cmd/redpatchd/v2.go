@@ -47,12 +47,11 @@ type scenarioJSON struct {
 }
 
 func (sc *scenario) json() scenarioJSON {
-	st := sc.study.EngineStats()
 	return scenarioJSON{
 		Name:    sc.name,
 		Config:  sc.cfg,
 		Created: sc.created,
-		Engine:  statsJSON{Solves: st.Solves, Hits: st.Hits},
+		Engine:  toStatsJSON(sc.study.EngineStats()),
 	}
 }
 
@@ -395,14 +394,13 @@ func (s *server) handleSweepV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	st := sc.study.EngineStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"scenario": sc.name,
 		"total":    sum.Total,
 		"kept":     len(sum.Reports),
 		"reports":  sum.Reports,
 		"pareto":   sum.Pareto,
-		"engine":   statsJSON{Solves: st.Solves, Hits: st.Hits},
+		"engine":   toStatsJSON(sc.study.EngineStats()),
 	})
 }
 

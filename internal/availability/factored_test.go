@@ -1,0 +1,255 @@
+package availability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"redpatch/internal/mathx"
+)
+
+// randomModel builds a random grouped network model: 1-3 logical groups,
+// 1-2 member tiers each, replica counts 1-4, rates spanning never-patching
+// tiers to fast patch clocks, and (sometimes) a non-default quorum.
+func randomModel(rng *rand.Rand) NetworkModel {
+	var nm NetworkModel
+	groupSize := make(map[string]int)
+	nGroups := 1 + rng.Intn(3)
+	id := 0
+	for g := 0; g < nGroups; g++ {
+		group := "g" + string(rune('0'+g))
+		members := 1 + rng.Intn(2)
+		for m := 0; m < members; m++ {
+			lambda := rng.Float64() * 0.05
+			if rng.Intn(8) == 0 {
+				lambda = 0 // never-patching tier
+			}
+			n := 1 + rng.Intn(4)
+			nm.Tiers = append(nm.Tiers, Tier{
+				Name:     "t" + string(rune('0'+id)),
+				Group:    group,
+				N:        n,
+				LambdaEq: lambda,
+				MuEq:     0.3 + rng.Float64()*2.2,
+			})
+			groupSize[group] += n
+			id++
+		}
+	}
+	if rng.Intn(2) == 0 {
+		// Raise one group's quorum above the default single server.
+		group := "g" + string(rune('0'+rng.Intn(nGroups)))
+		nm.Quorum = map[string]int{group: 1 + rng.Intn(groupSize[group])}
+	}
+	return nm
+}
+
+// TestFactoredEquivalence is the dispatch correctness gate: across random
+// tier counts, replica counts, rates, groups and quorums, the factored
+// solution must agree with the SRN oracle on every NetworkSolution
+// measure within 1e-9. CI runs it under the race detector.
+func TestFactoredEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nm := randomModel(rng)
+		fac, err := SolveNetworkFactored(nm)
+		if err != nil {
+			t.Logf("seed %d: factored solve: %v", seed, err)
+			return false
+		}
+		srn, err := SolveNetworkSRN(nm)
+		if err != nil {
+			t.Logf("seed %d: SRN solve: %v", seed, err)
+			return false
+		}
+		if !fac.Factored || srn.Factored {
+			t.Logf("seed %d: Factored flags wrong: %v/%v", seed, fac.Factored, srn.Factored)
+			return false
+		}
+		if fac.States != srn.States {
+			t.Logf("seed %d: states %d != %d", seed, fac.States, srn.States)
+			return false
+		}
+		const tol = 1e-9
+		if !mathx.AlmostEqual(fac.COA, srn.COA, tol) {
+			t.Logf("seed %d: COA %.12f != %.12f", seed, fac.COA, srn.COA)
+			return false
+		}
+		if !mathx.AlmostEqual(fac.ServiceAvailability, srn.ServiceAvailability, tol) {
+			t.Logf("seed %d: service availability %.12f != %.12f",
+				seed, fac.ServiceAvailability, srn.ServiceAvailability)
+			return false
+		}
+		for _, tier := range nm.Tiers {
+			if !mathx.AlmostEqual(fac.TierAllUp[tier.Name], srn.TierAllUp[tier.Name], tol) {
+				t.Logf("seed %d: tier %s all-up %.12f != %.12f",
+					seed, tier.Name, fac.TierAllUp[tier.Name], srn.TierAllUp[tier.Name])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFactoredEquivalencePaperDesigns pins the dispatch on the paper's
+// own designs: SolveNetwork must produce the factored solution and match
+// the SRN oracle to full tolerance.
+func TestFactoredEquivalencePaperDesigns(t *testing.T) {
+	for _, counts := range []map[string]int{
+		baseCounts,
+		{"dns": 1, "web": 1, "app": 1, "db": 1},
+		{"dns": 2, "web": 3, "app": 2, "db": 2},
+	} {
+		nm := paperTiers(t, counts)
+		sol, err := SolveNetwork(nm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol.Factored {
+			t.Fatalf("SolveNetwork(%v) did not dispatch to the factored path", counts)
+		}
+		oracle, err := SolveNetworkSRN(nm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mathx.AlmostEqual(sol.COA, oracle.COA, 1e-9) {
+			t.Errorf("%v: factored COA %.12f != SRN %.12f", counts, sol.COA, oracle.COA)
+		}
+		if !mathx.AlmostEqual(sol.ServiceAvailability, oracle.ServiceAvailability, 1e-9) {
+			t.Errorf("%v: factored service availability %.12f != SRN %.12f",
+				counts, sol.ServiceAvailability, oracle.ServiceAvailability)
+		}
+		for name := range oracle.TierAllUp {
+			if !mathx.AlmostEqual(sol.TierAllUp[name], oracle.TierAllUp[name], 1e-9) {
+				t.Errorf("%v: tier %s all-up %.12f != SRN %.12f",
+					counts, name, sol.TierAllUp[name], oracle.TierAllUp[name])
+			}
+		}
+	}
+}
+
+// TestSingleRepairRoutesToSRN pins the dispatch rule: the SingleRepair
+// ablation must keep the generated-SRN path (its recovery transition
+// couples the servers of a tier, so the binomial factor would be wrong),
+// and the factored entry points must refuse it outright.
+func TestSingleRepairRoutesToSRN(t *testing.T) {
+	nm := NetworkModel{
+		Tiers:    []Tier{{Name: "web", N: 3, LambdaEq: 0.01, MuEq: 0.5}},
+		Recovery: SingleRepair,
+	}
+	sol, err := SolveNetwork(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Factored {
+		t.Error("SingleRepair model solved by the factored path")
+	}
+	if _, err := SolveNetworkFactored(nm); err == nil {
+		t.Error("SolveNetworkFactored should reject SingleRepair")
+	}
+	if _, err := ComposeNetwork(nm, []TierFactor{{PMF: []float64{0, 0, 0, 1}}}); err == nil {
+		t.Error("ComposeNetwork should reject SingleRepair")
+	}
+
+	per := nm
+	per.Recovery = PerServer
+	pSol, err := SolveNetwork(per)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pSol.Factored {
+		t.Error("PerServer model should dispatch to the factored path")
+	}
+}
+
+func TestSolveTierFactor(t *testing.T) {
+	f, err := SolveTierFactor(Tier{Name: "web", N: 3, LambdaEq: 1.0 / 720, MuEq: 1.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 3 {
+		t.Errorf("N = %d, want 3", f.N())
+	}
+	if sum := mathx.KahanSum(f.PMF); !mathx.AlmostEqual(sum, 1, 1e-12) {
+		t.Errorf("PMF sums to %v, want 1", sum)
+	}
+	a := 1.7 / (1.7 + 1.0/720)
+	if want := a * a * a; !mathx.AlmostEqual(f.AllUp(), want, 1e-12) {
+		t.Errorf("AllUp = %v, want %v", f.AllUp(), want)
+	}
+	// A never-patching tier is deterministically all-up.
+	f0, err := SolveTierFactor(Tier{Name: "static", N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.AllUp() != 1 || f0.PMF[0] != 0 {
+		t.Errorf("never-patching factor = %v, want [0 0 1]", f0.PMF)
+	}
+	// Invalid tiers are rejected.
+	if _, err := SolveTierFactor(Tier{Name: "bad", N: 0}); err == nil {
+		t.Error("zero-size tier should fail")
+	}
+}
+
+func TestComposeNetworkValidation(t *testing.T) {
+	nm := NetworkModel{Tiers: []Tier{{Name: "web", N: 2, LambdaEq: 0.01, MuEq: 1}}}
+	good, err := SolveTierFactor(nm.Tiers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComposeNetwork(nm, nil); err == nil {
+		t.Error("missing factors should fail")
+	}
+	if _, err := ComposeNetwork(nm, []TierFactor{{PMF: []float64{1}}}); err == nil {
+		t.Error("size-mismatched factor should fail")
+	}
+	sol, err := ComposeNetwork(nm, []TierFactor{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.States != 3 {
+		t.Errorf("states = %d, want 3", sol.States)
+	}
+}
+
+// TestFactoredExtremeRates guards the binomial parameterization: rate
+// ratios spanning nine orders of magnitude and larger tiers must stay
+// finite, normalized and in agreement with the closed-form COA.
+func TestFactoredExtremeRates(t *testing.T) {
+	nm := NetworkModel{Tiers: []Tier{
+		{Name: "fast", N: 40, LambdaEq: 1e3, MuEq: 1e6},
+		{Name: "slow", N: 2, LambdaEq: 1e-3, MuEq: 1e-1},
+	}}
+	sol, err := SolveNetworkFactored(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sol.COA) || sol.COA < 0 || sol.COA > 1 {
+		t.Errorf("COA = %v outside [0,1]", sol.COA)
+	}
+	cf, err := ClosedFormCOA(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(sol.COA, cf, 1e-9) {
+		t.Errorf("factored COA %v != closed form %v", sol.COA, cf)
+	}
+}
+
+// TestProductStatesSaturates: a model too large to enumerate must report
+// MaxInt instead of a wrapped product.
+func TestProductStatesSaturates(t *testing.T) {
+	var nm NetworkModel
+	for i := 0; i < 16; i++ {
+		nm.Tiers = append(nm.Tiers, Tier{
+			Name: "t" + string(rune('a'+i)), N: 1 << 20, LambdaEq: 0.01, MuEq: 1,
+		})
+	}
+	if got := productStates(nm); got != math.MaxInt {
+		t.Errorf("productStates = %d, want MaxInt", got)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"redpatch/internal/ctmc"
-	"redpatch/internal/mathx"
 	"redpatch/internal/srn"
 )
 
@@ -230,13 +229,36 @@ type NetworkSolution struct {
 	ServiceAvailability float64
 	// TierAllUp maps tier name to P(every server of the tier up).
 	TierAllUp map[string]float64
-	// States is the size of the generated CTMC.
+	// States is the size of the solved CTMC: the tangible product chain
+	// the tiers span. The factored path never materializes it but reports
+	// the same number, so both solvers account state space identically.
 	States int
+	// Factored reports which solver produced the solution: true for the
+	// per-tier factored path, false for the generated SRN.
+	Factored bool
 }
 
-// SolveNetwork builds the upper-layer SRN, solves it, and evaluates COA
-// and the auxiliary availability measures.
+// SolveNetwork solves the upper-layer model, dispatching on the model's
+// structure: under PerServer recovery the tiers are independent
+// birth–death chains and the factored solver (SolveNetworkFactored)
+// answers in O(total servers) without generating the product CTMC; the
+// SingleRepair ablation keeps the generated-SRN path. SolveNetworkSRN
+// remains available as the cross-validation oracle for the factored
+// solver (see TestFactoredEquivalence).
 func SolveNetwork(nm NetworkModel) (NetworkSolution, error) {
+	if err := nm.Validate(); err != nil {
+		return NetworkSolution{}, err
+	}
+	if nm.recovery() == PerServer {
+		return SolveNetworkFactored(nm)
+	}
+	return SolveNetworkSRN(nm)
+}
+
+// SolveNetworkSRN builds the upper-layer SRN, generates its CTMC, solves
+// it, and evaluates COA and the auxiliary availability measures — the
+// paper's original pipeline, exact under every recovery semantics.
+func SolveNetworkSRN(nm NetworkModel) (NetworkSolution, error) {
 	net, ups, err := BuildNetworkSRN(nm)
 	if err != nil {
 		return NetworkSolution{}, err
@@ -293,60 +315,18 @@ func SolveNetwork(nm NetworkModel) (NetworkSolution, error) {
 //
 //	COA = (1/total) * sum_g E[up_g * 1{up_g >= q_g}] * prod_{h != g} P(up_h >= q_h).
 //
-// It exists to cross-validate the SRN pipeline and for fast design-space
-// sweeps.
+// It predates — and is now a thin view of — the factored solver, which
+// computes exactly this composition (SolveTierFactor + ComposeNetwork);
+// delegating keeps one copy of the quorum-COA derivation in the package.
 func ClosedFormCOA(nm NetworkModel) (float64, error) {
-	if err := nm.Validate(); err != nil {
-		return 0, err
-	}
-	if nm.recovery() != PerServer {
+	if nm.Recovery != 0 && nm.Recovery != PerServer {
 		return 0, fmt.Errorf("availability: closed form requires PerServer semantics")
 	}
-	total := float64(nm.TotalServers())
-	groups := groupIndices(nm)
-
-	quorumOK := make([]float64, len(groups))  // P(up_g >= q_g)
-	upGivenOK := make([]float64, len(groups)) // E[up_g * 1{up_g >= q_g}]
-	for g, idxs := range groups {
-		pmf := []float64{1} // up-count distribution of the group so far
-		for _, i := range idxs {
-			t := nm.Tiers[i]
-			a := 1.0
-			if t.LambdaEq > 0 {
-				a = t.MuEq / (t.LambdaEq + t.MuEq)
-			}
-			tierPMF := make([]float64, t.N+1)
-			for k := 0; k <= t.N; k++ {
-				tierPMF[k] = mathx.Binomial(t.N, k) * pow(a, k) * pow(1-a, t.N-k)
-			}
-			next := make([]float64, len(pmf)+t.N)
-			for u, pu := range pmf {
-				if pu == 0 {
-					continue
-				}
-				for k, pk := range tierPMF {
-					next[u+k] += pu * pk
-				}
-			}
-			pmf = next
-		}
-		q := nm.quorumOf(nm.Tiers[idxs[0]].group())
-		for k := q; k < len(pmf); k++ {
-			quorumOK[g] += pmf[k]
-			upGivenOK[g] += float64(k) * pmf[k]
-		}
+	sol, err := SolveNetworkFactored(nm)
+	if err != nil {
+		return 0, err
 	}
-	terms := make([]float64, len(groups))
-	for g := range groups {
-		term := upGivenOK[g]
-		for h := range groups {
-			if h != g {
-				term *= quorumOK[h]
-			}
-		}
-		terms[g] = term
-	}
-	return mathx.KahanSum(terms) / total, nil
+	return sol.COA, nil
 }
 
 func pow(x float64, n int) float64 {

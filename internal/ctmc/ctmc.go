@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"redpatch/internal/mathx"
 	"redpatch/internal/sparse"
@@ -22,6 +23,13 @@ type Chain struct {
 	builder *sparse.Builder
 	gen     *sparse.CSR // off-diagonal rates, rows = source states
 	diag    []float64   // diagonal of the generator (negative exit rates)
+
+	// Lazy transpose of gen (Gauss-Seidel sweeps). Guarded by a Once so
+	// concurrent solves on an already-frozen chain stay safe — the
+	// pre-cache code built a fresh transpose per call and callers (e.g.
+	// a shared srn.StateSpace) rely on that.
+	incomingOnce sync.Once
+	incoming     *sparse.CSR
 }
 
 // New returns a chain with n states and no transitions.
@@ -92,7 +100,8 @@ func (c *Chain) ExitRate(i int) float64 {
 type Method int
 
 const (
-	// Auto picks Direct for small chains and GaussSeidel otherwise.
+	// Auto picks Direct up to autoDirectLimit states and GaussSeidel
+	// otherwise.
 	Auto Method = iota + 1
 	// Direct uses dense Gaussian elimination with partial pivoting on the
 	// normalized balance equations. Exact up to floating point; O(n^3).
@@ -130,14 +139,28 @@ func (o SolveOptions) withDefaults() SolveOptions {
 // before reaching the requested tolerance.
 var ErrNotConverged = errors.New("ctmc: iterative solver did not converge")
 
+// autoDirectLimit is the state count up to which Auto selects the exact
+// Direct solver. The flat-backed elimination (single allocation, row-
+// pointer pivoting) made Direct cheap enough that it beats Gauss-Seidel
+// convergence on chains a few hundred states larger than the previous
+// [][]float64 implementation could afford.
+const autoDirectLimit = 512
+
 // SteadyState returns the stationary distribution pi with pi*Q = 0 and
 // sum(pi) = 1, using the configured method.
 func (c *Chain) SteadyState(opts SolveOptions) ([]float64, error) {
+	return c.SteadyStateWith(nil, opts)
+}
+
+// SteadyStateWith is SteadyState drawing its scratch buffers from ws.
+// A nil ws allocates per call; the returned distribution never aliases
+// workspace memory.
+func (c *Chain) SteadyStateWith(ws *Workspace, opts SolveOptions) ([]float64, error) {
 	c.freeze()
 	opts = opts.withDefaults()
 	method := opts.Method
 	if method == Auto {
-		if c.n <= 400 {
+		if c.n <= autoDirectLimit {
 			method = Direct
 		} else {
 			method = GaussSeidel
@@ -145,73 +168,99 @@ func (c *Chain) SteadyState(opts SolveOptions) ([]float64, error) {
 	}
 	switch method {
 	case Direct:
-		return c.steadyDirect()
+		return c.steadyDirect(ws)
 	case GaussSeidel:
 		return c.steadyGaussSeidel(opts)
 	case Power:
-		return c.steadyPower(opts)
+		return c.steadyPower(ws, opts)
 	default:
 		return nil, fmt.Errorf("ctmc: unknown method %d", method)
 	}
 }
 
 // steadyDirect solves Q^T pi = 0 with the last equation replaced by the
-// normalization sum(pi) = 1, by dense Gaussian elimination with partial
-// pivoting.
-func (c *Chain) steadyDirect() ([]float64, error) {
+// normalization sum(pi) = 1, by Gaussian elimination with partial
+// pivoting on a flat-backed augmented matrix: one backing allocation
+// (reused through ws) instead of one slice per row, and pivoting swaps
+// row indices instead of rows.
+func (c *Chain) steadyDirect(ws *Workspace) ([]float64, error) {
 	n := c.n
 	// Assemble A = Q^T with the final row overwritten by ones, b = e_n.
-	a := make([][]float64, n)
-	for i := range a {
-		a[i] = make([]float64, n+1)
-	}
+	a := ws.denseSystem(n, n+1)
 	for i := 0; i < n; i++ {
-		c.gen.Row(i, func(j int, v float64) { a[j][i] += v })
-		a[i][i] += c.diag[i]
+		c.gen.Row(i, func(j int, v float64) { a.Add(j, i, v) })
+		a.Add(i, i, c.diag[i])
 	}
-	for j := 0; j < n; j++ {
-		a[n-1][j] = 1
+	last := a.Row(n - 1)
+	for j := 0; j <= n; j++ {
+		last[j] = 1
 	}
-	a[n-1][n] = 1
 
-	for col := 0; col < n; col++ {
-		pivot := col
-		for r := col + 1; r < n; r++ {
-			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
-				pivot = r
-			}
-		}
-		if math.Abs(a[pivot][col]) < 1e-300 {
-			return nil, fmt.Errorf("ctmc: singular balance system at column %d (chain reducible?)", col)
-		}
-		a[col], a[pivot] = a[pivot], a[col]
-		inv := 1 / a[col][col]
-		for r := col + 1; r < n; r++ {
-			f := a[r][col] * inv
-			if f == 0 {
-				continue
-			}
-			for k := col; k <= n; k++ {
-				a[r][k] -= f * a[col][k]
-			}
-		}
-	}
 	pi := make([]float64, n)
-	for r := n - 1; r >= 0; r-- {
-		sum := a[r][n]
-		for k := r + 1; k < n; k++ {
-			sum -= a[r][k] * pi[k]
-		}
-		pi[r] = sum / a[r][r]
+	if err := eliminate(a, ws.rowPerm(n), pi); err != nil {
+		return nil, fmt.Errorf("ctmc: singular balance system (%v) — chain reducible?", err)
 	}
 	clampAndNormalize(pi)
 	return pi, nil
 }
 
+// eliminate solves the m x (m+1) augmented linear system held flat in a,
+// destroying a's contents. Partial pivoting runs over the row-index
+// permutation perm (len m): a pivot exchange swaps two ints, never two
+// rows of the backing. The solution lands in x (len m).
+func eliminate(a *sparse.Dense, perm []int, x []float64) error {
+	m := len(x)
+	for i := 0; i < m; i++ {
+		perm[i] = i
+	}
+	for col := 0; col < m; col++ {
+		pivot := col
+		best := math.Abs(a.Row(perm[col])[col])
+		for r := col + 1; r < m; r++ {
+			if v := math.Abs(a.Row(perm[r])[col]); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-300 {
+			return fmt.Errorf("singular system at column %d", col)
+		}
+		perm[col], perm[pivot] = perm[pivot], perm[col]
+		prow := a.Row(perm[col])
+		inv := 1 / prow[col]
+		for r := col + 1; r < m; r++ {
+			row := a.Row(perm[r])
+			f := row[col] * inv
+			if f == 0 {
+				continue
+			}
+			row[col] = 0
+			for k := col + 1; k <= m; k++ {
+				row[k] -= f * prow[k]
+			}
+		}
+	}
+	for r := m - 1; r >= 0; r-- {
+		row := a.Row(perm[r])
+		sum := row[m]
+		for k := r + 1; k < m; k++ {
+			sum -= row[k] * x[k]
+		}
+		x[r] = sum / row[r]
+	}
+	return nil
+}
+
+// incomingMatrix returns (building lazily, once) the transpose of the
+// off-diagonal rate matrix: row j holds the incoming rates of state j.
+func (c *Chain) incomingMatrix() *sparse.CSR {
+	c.incomingOnce.Do(func() { c.incoming = c.gen.Transpose() })
+	return c.incoming
+}
+
 // steadyGaussSeidel iterates pi_j = (sum_{i != j} pi_i q_ij) / (-q_jj).
 func (c *Chain) steadyGaussSeidel(opts SolveOptions) ([]float64, error) {
 	n := c.n
-	incoming := c.gen.Transpose() // row j holds incoming rates of state j
+	incoming := c.incomingMatrix() // row j holds incoming rates of state j
 
 	pi := make([]float64, n)
 	for i := range pi {
@@ -248,11 +297,11 @@ func (c *Chain) steadyGaussSeidel(opts SolveOptions) ([]float64, error) {
 }
 
 // steadyPower iterates the uniformized DTMC P = I + Q/Lambda.
-func (c *Chain) steadyPower(opts SolveOptions) ([]float64, error) {
+func (c *Chain) steadyPower(ws *Workspace, opts SolveOptions) ([]float64, error) {
 	n := c.n
 	lambda := c.uniformizationRate()
-	pi := make([]float64, n)
-	next := make([]float64, n)
+	pi := ws.vec(0, n)
+	next := ws.vec(1, n)
 	for i := range pi {
 		pi[i] = 1 / float64(n)
 	}
@@ -277,8 +326,10 @@ func (c *Chain) steadyPower(opts SolveOptions) ([]float64, error) {
 		}
 		pi, next = next, pi
 		if maxDelta < opts.Tolerance {
-			clampAndNormalize(pi)
-			return pi, nil
+			out := make([]float64, n) // detach the result from ws memory
+			copy(out, pi)
+			clampAndNormalize(out)
+			return out, nil
 		}
 	}
 	return nil, fmt.Errorf("%w: power iteration after %d iterations", ErrNotConverged, opts.MaxIter)
@@ -302,6 +353,13 @@ func (c *Chain) uniformizationRate() float64 {
 // distribution p0, computed by uniformization with adaptive truncation of
 // the Poisson series (truncation error below 1e-12).
 func (c *Chain) Transient(p0 []float64, t float64) ([]float64, error) {
+	return c.TransientWith(nil, p0, t)
+}
+
+// TransientWith is Transient drawing its uniformization buffers from ws.
+// A nil ws allocates per call; the returned distribution never aliases
+// workspace memory.
+func (c *Chain) TransientWith(ws *Workspace, p0 []float64, t float64) ([]float64, error) {
 	c.freeze()
 	if len(p0) != c.n {
 		return nil, fmt.Errorf("ctmc: initial distribution has %d entries, want %d", len(p0), c.n)
@@ -317,8 +375,8 @@ func (c *Chain) Transient(p0 []float64, t float64) ([]float64, error) {
 	lambda := c.uniformizationRate()
 	lt := lambda * t
 
-	cur := make([]float64, c.n)
-	next := make([]float64, c.n)
+	cur := ws.vec(0, c.n)
+	next := ws.vec(1, c.n)
 	copy(cur, p0)
 
 	// Accumulate sum_k Poisson(k; lt) * p0 * P^k with scaled weights to
@@ -367,6 +425,13 @@ func (c *Chain) Transient(p0 []float64, t float64) ([]float64, error) {
 // t yields the interval (time-average) distribution, from which interval
 // availability and accumulated-reward measures derive.
 func (c *Chain) AccumulatedProbability(p0 []float64, t float64) ([]float64, error) {
+	return c.AccumulatedProbabilityWith(nil, p0, t)
+}
+
+// AccumulatedProbabilityWith is AccumulatedProbability drawing its
+// uniformization buffers from ws. A nil ws allocates per call; the
+// returned occupancies never alias workspace memory.
+func (c *Chain) AccumulatedProbabilityWith(ws *Workspace, p0 []float64, t float64) ([]float64, error) {
 	c.freeze()
 	if len(p0) != c.n {
 		return nil, fmt.Errorf("ctmc: initial distribution has %d entries, want %d", len(p0), c.n)
@@ -381,8 +446,8 @@ func (c *Chain) AccumulatedProbability(p0 []float64, t float64) ([]float64, erro
 	lambda := c.uniformizationRate()
 	lt := lambda * t
 
-	cur := make([]float64, c.n)
-	next := make([]float64, c.n)
+	cur := ws.vec(0, c.n)
+	next := ws.vec(1, c.n)
 	copy(cur, p0)
 
 	// L(t) = (1/Lambda) * sum_k P(N(lt) > k) * p0 P^k, where
@@ -485,20 +550,20 @@ func (c *Chain) MeanTimeToAbsorption(absorbing []int) ([]float64, error) {
 	if m == 0 {
 		return make([]float64, c.n), nil
 	}
-	// Solve Q_TT * tau = -1 by dense elimination.
-	a := make([][]float64, m)
+	// Solve Q_TT * tau = -1 by flat-backed dense elimination.
+	a := sparse.NewDense(m, m+1)
 	for r, s := range transient {
-		a[r] = make([]float64, m+1)
-		a[r][idx[s]] = c.diag[s]
+		row := a.Row(r)
+		row[idx[s]] = c.diag[s]
 		c.gen.Row(s, func(j int, v float64) {
 			if !isAbs[j] {
-				a[r][idx[j]] += v
+				row[idx[j]] += v
 			}
 		})
-		a[r][m] = -1
+		row[m] = -1
 	}
-	tau, err := solveDense(a)
-	if err != nil {
+	tau := make([]float64, m)
+	if err := eliminate(a, make([]int, m), tau); err != nil {
 		return nil, fmt.Errorf("ctmc: mean time to absorption: %w", err)
 	}
 	out := make([]float64, c.n)
@@ -506,43 +571,6 @@ func (c *Chain) MeanTimeToAbsorption(absorbing []int) ([]float64, error) {
 		out[s] = tau[r]
 	}
 	return out, nil
-}
-
-// solveDense performs in-place Gaussian elimination with partial pivoting
-// on the augmented system a (m rows, m+1 columns) and returns the solution.
-func solveDense(a [][]float64) ([]float64, error) {
-	m := len(a)
-	for col := 0; col < m; col++ {
-		pivot := col
-		for r := col + 1; r < m; r++ {
-			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
-				pivot = r
-			}
-		}
-		if math.Abs(a[pivot][col]) < 1e-300 {
-			return nil, fmt.Errorf("singular system at column %d", col)
-		}
-		a[col], a[pivot] = a[pivot], a[col]
-		inv := 1 / a[col][col]
-		for r := col + 1; r < m; r++ {
-			f := a[r][col] * inv
-			if f == 0 {
-				continue
-			}
-			for k := col; k <= m; k++ {
-				a[r][k] -= f * a[col][k]
-			}
-		}
-	}
-	x := make([]float64, m)
-	for r := m - 1; r >= 0; r-- {
-		sum := a[r][m]
-		for k := r + 1; k < m; k++ {
-			sum -= a[r][k] * x[k]
-		}
-		x[r] = sum / a[r][r]
-	}
-	return x, nil
 }
 
 // Validate checks structural well-formedness of the generator: every

@@ -1,0 +1,61 @@
+package ctmc
+
+import "redpatch/internal/sparse"
+
+// Workspace holds the scratch buffers of the numerical solvers so that
+// repeated solves — design-space sweeps solve thousands of small chains —
+// reuse one set of allocations instead of churning the garbage collector.
+// The zero value is ready to use; a nil *Workspace is accepted everywhere
+// and falls back to per-call allocation. A Workspace is NOT safe for
+// concurrent use: give each worker goroutine its own.
+//
+// Returned solution vectors never alias workspace memory; callers may keep
+// them across further solves on the same workspace.
+type Workspace struct {
+	system *sparse.Dense // augmented elimination system (direct solves)
+	perm   []int         // row-index permutation for pivoting
+	vecs   [2][]float64  // iteration vectors (power, uniformization)
+}
+
+// NewWorkspace returns an empty workspace. Buffers grow to the largest
+// chain solved through it and are then reused.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// denseSystem returns a zeroed rows x cols flat matrix, reusing the
+// workspace backing when possible.
+func (w *Workspace) denseSystem(rows, cols int) *sparse.Dense {
+	if w == nil {
+		return sparse.NewDense(rows, cols)
+	}
+	if w.system == nil {
+		w.system = sparse.NewDense(rows, cols)
+	} else {
+		w.system.Reset(rows, cols)
+	}
+	return w.system
+}
+
+// rowPerm returns an n-entry row-permutation buffer (contents undefined).
+func (w *Workspace) rowPerm(n int) []int {
+	if w == nil {
+		return make([]int, n)
+	}
+	if cap(w.perm) < n {
+		w.perm = make([]int, n)
+	}
+	w.perm = w.perm[:n]
+	return w.perm
+}
+
+// vec returns the i-th (0 or 1) n-entry scratch vector (contents
+// undefined — every solver fully overwrites it before reading).
+func (w *Workspace) vec(i, n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	if cap(w.vecs[i]) < n {
+		w.vecs[i] = make([]float64, n)
+	}
+	w.vecs[i] = w.vecs[i][:n]
+	return w.vecs[i]
+}

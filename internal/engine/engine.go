@@ -46,10 +46,29 @@ type Options struct {
 // Stats counts the engine's cache behaviour. Solves is the number of
 // underlying evaluator calls; Hits the number of requests served from the
 // cache, including requests that waited on an in-flight solve of the same
-// design instead of starting their own.
+// design instead of starting their own. The remaining counters mirror
+// the wrapped evaluator's availability-solver dispatch (SolverStats)
+// when it exposes one — redundancy.Evaluator does — and stay zero for
+// evaluators that do not.
 type Stats struct {
 	Solves uint64
 	Hits   uint64
+	// FactoredSolves is the number of upper-layer availability solves
+	// served by the factored (per-tier birth–death) path.
+	FactoredSolves uint64
+	// SRNSolves is the number of upper-layer solves that generated and
+	// eliminated the full SRN.
+	SRNSolves uint64
+	// TierSolves is the number of distinct (stack, replicas) tier
+	// factors solved; TierFactorHits the number served from the memo.
+	TierSolves     uint64
+	TierFactorHits uint64
+}
+
+// SolverStatsProvider is the optional evaluator extension surfacing
+// availability-solver dispatch counters through the engine's Stats.
+type SolverStatsProvider interface {
+	SolverStats() redundancy.SolverStats
 }
 
 // key identifies a solved model: the spec's canonical identity (tier
@@ -98,9 +117,18 @@ func New(eval DesignEvaluator, opts Options) (*Engine, error) {
 	}, nil
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, merged with the
+// evaluator's solver-dispatch counters when available.
 func (g *Engine) Stats() Stats {
-	return Stats{Solves: g.solves.Load(), Hits: g.hits.Load()}
+	st := Stats{Solves: g.solves.Load(), Hits: g.hits.Load()}
+	if p, ok := g.eval.(SolverStatsProvider); ok {
+		ss := p.SolverStats()
+		st.FactoredSolves = ss.FactoredSolves
+		st.SRNSolves = ss.SRNSolves
+		st.TierSolves = ss.TierSolves
+		st.TierFactorHits = ss.TierFactorHits
+	}
+	return st
 }
 
 // Evaluate scores one classic 4-tuple design through the spec path.

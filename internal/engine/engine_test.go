@@ -463,3 +463,66 @@ func TestSpecCacheKeysDistinguishVariants(t *testing.T) {
 		t.Fatalf("cache hit lost the requested name: %q", r.Spec.Name)
 	}
 }
+
+// TestColdSweepTierSolveBudget pins the factored-sweep scaling contract:
+// a cold sweep over the 3^4 replica space (81 designs) performs at most
+// one tier solve per (role, replica-count) pair — the sum of the range
+// sizes, 12 — instead of one network solve per design point, and never
+// touches the SRN path. Asserted through the engine's merged counters.
+func TestColdSweepTierSolveBudget(t *testing.T) {
+	ev, err := redundancy.NewEvaluator(redundancy.Options{}) // cold: fresh counters
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(ev, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FullSpace(3)
+	res, err := g.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 81 {
+		t.Fatalf("total = %d, want 81", res.Total)
+	}
+	st := g.Stats()
+	if st.Solves != 81 || st.FactoredSolves != 81 {
+		t.Errorf("solves = %d, factored = %d; want 81 of each", st.Solves, st.FactoredSolves)
+	}
+	var sumRanges uint64
+	for _, tier := range spec.Tiers {
+		sumRanges += uint64(tier.Replicas.Max - tier.Replicas.Min + 1)
+	}
+	if st.TierSolves > sumRanges {
+		t.Errorf("cold 3^4 sweep performed %d tier solves, budget is sum of ranges = %d",
+			st.TierSolves, sumRanges)
+	}
+	if st.SRNSolves != 0 {
+		t.Errorf("sweep performed %d SRN solves, want 0", st.SRNSolves)
+	}
+	// Every design reads 4 factors; all but the 12 misses must hit.
+	if want := uint64(81*4) - st.TierSolves; st.TierFactorHits != want {
+		t.Errorf("tier factor hits = %d, want %d", st.TierFactorHits, want)
+	}
+}
+
+// TestStatsWithoutSolverProvider: engines over evaluators that do not
+// expose solver counters report zeros rather than garbage.
+func TestStatsWithoutSolverProvider(t *testing.T) {
+	ev := &countingEvaluator{inner: paperEvaluator(t)}
+	g, err := New(ev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Evaluate(paperdata.BaseDesign()); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Solves != 1 {
+		t.Errorf("solves = %d, want 1", st.Solves)
+	}
+	if st.FactoredSolves != 0 || st.SRNSolves != 0 || st.TierSolves != 0 || st.TierFactorHits != 0 {
+		t.Errorf("wrapped evaluator without SolverStats leaked counters: %+v", st)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redpatch/internal/attacktree"
@@ -45,9 +46,24 @@ type Evaluator struct {
 	evalOpts harm.EvalOptions
 	workers  int
 
-	mu    sync.Mutex // guards agg and plans (lazy variant-stack solves)
-	agg   map[string]availability.AggregatedRates
-	plans map[string]patch.Plan
+	mu      sync.Mutex // guards agg, plans and factors (lazy solves)
+	agg     map[string]availability.AggregatedRates
+	plans   map[string]patch.Plan
+	factors map[factorKey]availability.TierFactor
+
+	// Availability-solver dispatch counters (see SolverStats).
+	factoredSolves atomic.Uint64
+	srnSolves      atomic.Uint64
+	tierSolves     atomic.Uint64
+	tierFactorHits atomic.Uint64
+}
+
+// factorKey identifies one memoized tier factor: a software stack (whose
+// aggregated rates are fixed for the evaluator's policy configuration)
+// deployed at a replica count.
+type factorKey struct {
+	stack string
+	n     int
 }
 
 // Options configures an Evaluator. Zero-value fields select the paper's
@@ -82,6 +98,7 @@ func NewEvaluator(opts Options) (*Evaluator, error) {
 		evalOpts: harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy},
 		agg:      make(map[string]availability.AggregatedRates),
 		plans:    make(map[string]patch.Plan),
+		factors:  make(map[factorKey]availability.TierFactor),
 	}
 	if e.db == nil {
 		e.db = paperdata.VulnDB()
@@ -201,17 +218,26 @@ func (e *Evaluator) buildHARM(spec paperdata.DesignSpec) (*harm.HARM, error) {
 // by logical role so heterogeneous groups back each other up (the
 // service is up while any group of the role has a server up).
 func (e *Evaluator) NetworkModelFor(spec paperdata.DesignSpec) (availability.NetworkModel, error) {
+	nm, _, err := e.networkModelFor(spec)
+	return nm, err
+}
+
+// networkModelFor is NetworkModelFor plus the software stack behind each
+// tier in order — the memo identity the factored solver caches tier
+// factors under (tier names carry ordinal suffixes, stacks do not).
+func (e *Evaluator) networkModelFor(spec paperdata.DesignSpec) (availability.NetworkModel, []string, error) {
 	if err := spec.Validate(); err != nil {
-		return availability.NetworkModel{}, err
+		return availability.NetworkModel{}, nil, err
 	}
 	var nm availability.NetworkModel
+	var stacks []string
 	names := make(map[string]int)
 	for _, lt := range spec.Logical() {
 		for _, g := range lt.Groups {
 			stack := g.Stack()
 			agg, err := e.ratesFor(stack)
 			if err != nil {
-				return availability.NetworkModel{}, err
+				return availability.NetworkModel{}, nil, err
 			}
 			// Tier names must be unique in the SRN; a stack deployed in
 			// several groups gets an ordinal suffix past the first.
@@ -227,9 +253,78 @@ func (e *Evaluator) NetworkModelFor(spec paperdata.DesignSpec) (availability.Net
 				LambdaEq: agg.LambdaEq,
 				MuEq:     agg.MuEq,
 			})
+			stacks = append(stacks, stack)
 		}
 	}
-	return nm, nil
+	return nm, stacks, nil
+}
+
+// tierFactorFor returns the birth–death solution of one (stack, replica
+// count) tier, memoized: a sweep over an R^k replica space performs one
+// tier solve per distinct (stack, n) pair — O(R*k) — rather than one
+// network solve per point. The solve is O(n) and runs under the mutex,
+// so concurrent misses for one key never duplicate it and the TierSolves
+// counter is an exact distinct-pair count.
+func (e *Evaluator) tierFactorFor(stack string, tier availability.Tier) (availability.TierFactor, error) {
+	k := factorKey{stack: stack, n: tier.N}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.factors[k]; ok {
+		e.tierFactorHits.Add(1)
+		return f, nil
+	}
+	f, err := availability.SolveTierFactor(tier)
+	if err != nil {
+		return availability.TierFactor{}, err
+	}
+	e.tierSolves.Add(1)
+	e.factors[k] = f
+	return f, nil
+}
+
+// solveNetwork dispatches one spec's availability solve: PerServer
+// models (every model this evaluator builds) go through the memoized
+// factored path, anything else falls back to the generated SRN.
+func (e *Evaluator) solveNetwork(nm availability.NetworkModel, stacks []string) (availability.NetworkSolution, error) {
+	if nm.Recovery != 0 && nm.Recovery != availability.PerServer {
+		e.srnSolves.Add(1)
+		return availability.SolveNetworkSRN(nm)
+	}
+	factors := make([]availability.TierFactor, len(nm.Tiers))
+	for i, t := range nm.Tiers {
+		f, err := e.tierFactorFor(stacks[i], t)
+		if err != nil {
+			return availability.NetworkSolution{}, err
+		}
+		factors[i] = f
+	}
+	e.factoredSolves.Add(1)
+	return availability.ComposeNetwork(nm, factors)
+}
+
+// SolverStats counts the evaluator's availability-solver dispatch.
+type SolverStats struct {
+	// FactoredSolves is the number of network solves served by the
+	// factored (per-tier birth–death) path.
+	FactoredSolves uint64
+	// SRNSolves is the number of network solves that generated and
+	// eliminated the full SRN (SingleRepair models).
+	SRNSolves uint64
+	// TierSolves is the number of per-(stack, replicas) tier factors
+	// solved — the cache-miss count.
+	TierSolves uint64
+	// TierFactorHits is the number of tier factors served from the memo.
+	TierFactorHits uint64
+}
+
+// SolverStats returns a snapshot of the dispatch counters.
+func (e *Evaluator) SolverStats() SolverStats {
+	return SolverStats{
+		FactoredSolves: e.factoredSolves.Load(),
+		SRNSolves:      e.srnSolves.Load(),
+		TierSolves:     e.tierSolves.Load(),
+		TierFactorHits: e.tierFactorHits.Load(),
+	}
 }
 
 // EvaluateSpec runs both models for one role-keyed design.
@@ -259,11 +354,11 @@ func (e *Evaluator) EvaluateSpec(spec paperdata.DesignSpec) (Result, error) {
 		return Result{}, err
 	}
 
-	nm, err := e.NetworkModelFor(spec)
+	nm, stacks, err := e.networkModelFor(spec)
 	if err != nil {
 		return Result{}, err
 	}
-	sol, err := availability.SolveNetwork(nm)
+	sol, err := e.solveNetwork(nm, stacks)
 	if err != nil {
 		return Result{}, err
 	}

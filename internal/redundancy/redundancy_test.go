@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"redpatch/internal/availability"
 	"redpatch/internal/harm"
 	"redpatch/internal/mathx"
 	"redpatch/internal/paperdata"
@@ -500,5 +501,76 @@ func TestPlanCampaignUsesEvaluatorPolicy(t *testing.T) {
 	}
 	if _, err := e.PlanCampaign("nosuchrole", 30*time.Minute); err == nil {
 		t.Error("unknown role accepted")
+	}
+}
+
+// TestTierFactorMemo pins the factored-availability bookkeeping: a fresh
+// evaluator solves one tier factor per distinct (stack, replicas) pair,
+// serves repeats from the memo, and never touches the SRN path for the
+// PerServer models it builds.
+func TestTierFactorMemo(t *testing.T) {
+	e, err := NewEvaluator(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := e.SolverStats(); st != (SolverStats{}) {
+		t.Fatalf("fresh evaluator stats = %+v, want zeros", st)
+	}
+	// Base design 1d2w2a1b: four distinct (stack, n) pairs.
+	if _, err := e.Evaluate(paperdata.BaseDesign()); err != nil {
+		t.Fatal(err)
+	}
+	st := e.SolverStats()
+	if st.FactoredSolves != 1 || st.TierSolves != 4 || st.TierFactorHits != 0 || st.SRNSolves != 0 {
+		t.Fatalf("after base design: stats = %+v, want 1 factored / 4 tier solves", st)
+	}
+	// Same replica multiset again (different name): all four factors hit.
+	if _, err := e.Evaluate(paperdata.Design{Name: "again", DNS: 1, Web: 2, App: 2, DB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st = e.SolverStats()
+	if st.FactoredSolves != 2 || st.TierSolves != 4 || st.TierFactorHits != 4 {
+		t.Fatalf("after repeat: stats = %+v, want 2 factored / 4 tier solves / 4 hits", st)
+	}
+	// A new replica count adds exactly the new pairs.
+	if _, err := e.Evaluate(paperdata.Design{Name: "d1", DNS: 1, Web: 1, App: 1, DB: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st = e.SolverStats()
+	if st.TierSolves != 6 || st.TierFactorHits != 6 {
+		t.Fatalf("after 1d1w1a1b: stats = %+v, want 6 tier solves / 6 hits", st)
+	}
+}
+
+// TestFactoredAvailabilityMatchesSRNOracle cross-validates the
+// evaluator's memoized factored solve against the generated-SRN oracle
+// on the upper-layer model of a heterogeneous spec.
+func TestFactoredAvailabilityMatchesSRNOracle(t *testing.T) {
+	e, _ := evaluator(t)
+	spec := paperdata.DesignSpec{Name: "hetero", Tiers: []paperdata.TierSpec{
+		{Role: paperdata.RoleDNS, Replicas: 1},
+		{Role: paperdata.RoleWeb, Replicas: 2},
+		{Role: paperdata.RoleWeb, Replicas: 1, Variant: paperdata.RoleWebAlt},
+		{Role: paperdata.RoleApp, Replicas: 2},
+		{Role: paperdata.RoleDB, Replicas: 1},
+	}}
+	r, err := e.EvaluateSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := e.NetworkModelFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := availability.SolveNetworkSRN(nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(r.COA, oracle.COA, 1e-9) {
+		t.Errorf("factored COA %.12f != SRN oracle %.12f", r.COA, oracle.COA)
+	}
+	if !mathx.AlmostEqual(r.ServiceAvailability, oracle.ServiceAvailability, 1e-9) {
+		t.Errorf("factored service availability %.12f != SRN oracle %.12f",
+			r.ServiceAvailability, oracle.ServiceAvailability)
 	}
 }

@@ -158,9 +158,9 @@ func (m *CSR) Transpose() *CSR {
 	return b.Build()
 }
 
-// Dense expands the matrix into a row-major dense [][]float64. Intended for
-// the direct (Gaussian elimination) solver on small state spaces and for
-// tests.
+// Dense expands the matrix into a row-major dense [][]float64. Intended
+// for tests and spot checks; the solvers use the flat-backed Dense type
+// instead.
 func (m *CSR) Dense() [][]float64 {
 	d := make([][]float64, m.rows)
 	for r := range d {
@@ -172,6 +172,77 @@ func (m *CSR) Dense() [][]float64 {
 		}
 	}
 	return d
+}
+
+// Dense is a dense matrix over a single flat row-major backing slice. The
+// direct CTMC solvers assemble their augmented elimination systems in one:
+// one allocation per solve instead of one per row, and Reset lets a solver
+// workspace recycle the backing across solves so repeated solves allocate
+// nothing once the high-water mark is reached.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed rows x cols flat dense matrix.
+func NewDense(rows, cols int) *Dense {
+	d := &Dense{}
+	d.Reset(rows, cols)
+	return d
+}
+
+// Reset resizes the matrix to rows x cols and zeroes it, growing the flat
+// backing only when the requested size exceeds its capacity.
+func (d *Dense) Reset(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dense dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(d.data) < n {
+		d.data = make([]float64, n)
+	} else {
+		d.data = d.data[:n]
+		for i := range d.data {
+			d.data[i] = 0
+		}
+	}
+	d.rows, d.cols = rows, cols
+}
+
+// Dims returns the number of rows and columns.
+func (d *Dense) Dims() (rows, cols int) { return d.rows, d.cols }
+
+// Row returns the i-th row as a slice view into the flat backing; writes
+// through it mutate the matrix.
+func (d *Dense) Row(i int) []float64 {
+	if i < 0 || i >= d.rows {
+		panic(fmt.Sprintf("sparse: row %d outside %dx%d matrix", i, d.rows, d.cols))
+	}
+	return d.data[i*d.cols : (i+1)*d.cols]
+}
+
+// At returns the value at (row, col).
+func (d *Dense) At(row, col int) float64 {
+	d.check(row, col)
+	return d.data[row*d.cols+col]
+}
+
+// Set stores v at (row, col).
+func (d *Dense) Set(row, col int, v float64) {
+	d.check(row, col)
+	d.data[row*d.cols+col] = v
+}
+
+// Add accumulates v at (row, col).
+func (d *Dense) Add(row, col int, v float64) {
+	d.check(row, col)
+	d.data[row*d.cols+col] += v
+}
+
+func (d *Dense) check(row, col int) {
+	if row < 0 || row >= d.rows || col < 0 || col >= d.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) outside %dx%d matrix", row, col, d.rows, d.cols))
+	}
 }
 
 // RowSums returns the sum of each row's stored values. CTMC generator

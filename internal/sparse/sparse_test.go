@@ -209,6 +209,74 @@ func TestMulVecMatchesDense(t *testing.T) {
 	}
 }
 
+func TestFlatDenseBasics(t *testing.T) {
+	d := NewDense(2, 3)
+	rows, cols := d.Dims()
+	if rows != 2 || cols != 3 {
+		t.Fatalf("Dims = (%d,%d), want (2,3)", rows, cols)
+	}
+	d.Set(0, 2, 5)
+	d.Add(0, 2, 1.5)
+	d.Add(1, 0, -2)
+	if got := d.At(0, 2); got != 6.5 {
+		t.Errorf("At(0,2) = %v, want 6.5", got)
+	}
+	if got := d.At(1, 0); got != -2 {
+		t.Errorf("At(1,0) = %v, want -2", got)
+	}
+	// Row is a live view into the backing.
+	row := d.Row(1)
+	row[2] = 9
+	if got := d.At(1, 2); got != 9 {
+		t.Errorf("write through Row view lost: At(1,2) = %v, want 9", got)
+	}
+}
+
+func TestFlatDenseResetReusesBacking(t *testing.T) {
+	d := NewDense(4, 5)
+	d.Set(3, 4, 7)
+	backing := &d.data[0]
+	d.Reset(2, 2) // shrink: same backing, zeroed
+	if &d.data[0] != backing {
+		t.Error("Reset to a smaller size should keep the backing slice")
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if d.At(r, c) != 0 {
+				t.Errorf("Reset left At(%d,%d) = %v, want 0", r, c, d.At(r, c))
+			}
+		}
+	}
+	d.Reset(6, 6) // grow: fresh zeroed backing
+	if rows, cols := d.Dims(); rows != 6 || cols != 6 {
+		t.Fatalf("Dims after grow = (%d,%d), want (6,6)", rows, cols)
+	}
+	for i := range d.data {
+		if d.data[i] != 0 {
+			t.Fatal("grown backing not zeroed")
+		}
+	}
+}
+
+func TestFlatDenseBoundsPanics(t *testing.T) {
+	d := NewDense(2, 2)
+	for name, fn := range map[string]func(){
+		"At":    func() { d.At(2, 0) },
+		"Set":   func() { d.Set(0, 2, 1) },
+		"Row":   func() { d.Row(-1) },
+		"Reset": func() { d.Reset(-1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 // TestTransposeInvolution checks transpose(transpose(m)) == m structurally.
 func TestTransposeInvolution(t *testing.T) {
 	f := func(seed int64) bool {
