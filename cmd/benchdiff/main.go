@@ -1,0 +1,194 @@
+// Command benchdiff compares `go test -bench` output against a
+// committed baseline (BENCH_PR3.json) and fails when a benchmark has
+// regressed beyond a tolerance factor — the CI gate that keeps the
+// factored-solver speedups honest without flaking on runner noise.
+//
+// Usage:
+//
+//	go test -run '^$' -bench B -benchtime 3x . | tee bench.txt
+//	benchdiff [-baseline BENCH_PR3.json] [-tolerance 3] [bench.txt]
+//
+// With no file argument the bench output is read from stdin. Only
+// benchmarks present in both the baseline and the run are compared
+// (ns/op, averaged across repeated runs); benchmarks on one side only
+// are reported informationally. The tolerance is deliberately generous
+// — CI machines differ from the baseline machine — so the gate catches
+// order-of-magnitude regressions (an accidental fall off the factored
+// path, a cache key that stopped matching), not single-digit noise.
+//
+// Exit status: 0 when every compared benchmark is within tolerance,
+// 1 on regression, 2 on usage or parse errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baselineFile mirrors the committed BENCH_PR3.json shape; unknown
+// fields (description, cpu, pre-PR3 references) are ignored.
+type baselineFile struct {
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkSweepCold81-8   100   9362286 ns/op   3353870 B/op   51398 allocs/op
+//
+// The trailing -N is the GOMAXPROCS suffix, stripped so names match
+// the baseline regardless of the runner's core count.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+
+// parseBench extracts per-benchmark mean ns/op from bench output.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	sums := make(map[string]float64)
+	runs := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		sums[m[1]] += ns
+		runs[m[1]]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(runs[name])
+	}
+	return out, nil
+}
+
+// comparison is one benchmark's verdict.
+type comparison struct {
+	name      string
+	baseline  float64
+	current   float64
+	ratio     float64
+	regressed bool
+}
+
+func compare(baseline map[string]baselineEntry, current map[string]float64, tolerance float64) (compared []comparison, onlyBaseline, onlyCurrent []string) {
+	for name, got := range current {
+		base, ok := baseline[name]
+		if !ok || base.NsPerOp <= 0 {
+			onlyCurrent = append(onlyCurrent, name)
+			continue
+		}
+		ratio := got / base.NsPerOp
+		compared = append(compared, comparison{
+			name:      name,
+			baseline:  base.NsPerOp,
+			current:   got,
+			ratio:     ratio,
+			regressed: ratio > tolerance,
+		})
+	}
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			onlyBaseline = append(onlyBaseline, name)
+		}
+	}
+	sort.Slice(compared, func(i, j int) bool { return compared[i].name < compared[j].name })
+	sort.Strings(onlyBaseline)
+	sort.Strings(onlyCurrent)
+	return compared, onlyBaseline, onlyCurrent
+}
+
+func run(args []string, in io.Reader, out io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	baselinePath := fs.String("baseline", "BENCH_PR3.json", "baseline JSON file")
+	tolerance := fs.Float64("tolerance", 3.0, "fail when current ns/op exceeds baseline by this factor")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *tolerance <= 0 {
+		fmt.Fprintln(out, "benchdiff: tolerance must be positive")
+		return 2
+	}
+	benchIn := in
+	if fs.NArg() > 1 {
+		fmt.Fprintln(out, "benchdiff: at most one bench output file")
+		return 2
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(out, "benchdiff: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		benchIn = f
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(out, "benchdiff: %v\n", err)
+		return 2
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(out, "benchdiff: parsing baseline %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	current, err := parseBench(benchIn)
+	if err != nil {
+		fmt.Fprintf(out, "benchdiff: parsing bench output: %v\n", err)
+		return 2
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(out, "benchdiff: no benchmark results in input")
+		return 2
+	}
+
+	compared, onlyBaseline, onlyCurrent := compare(base.Benchmarks, current, *tolerance)
+	regressions := 0
+	for _, c := range compared {
+		verdict := "ok"
+		if c.regressed {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "%-60s %12.0f -> %12.0f ns/op  %5.2fx  %s\n",
+			c.name, c.baseline, c.current, c.ratio, verdict)
+	}
+	for _, name := range onlyCurrent {
+		fmt.Fprintf(out, "%-60s (not in baseline, skipped)\n", name)
+	}
+	for _, name := range onlyBaseline {
+		fmt.Fprintf(out, "%-60s (in baseline, not run)\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", regressions, *tolerance)
+		return 1
+	}
+	fmt.Fprintf(out, "benchdiff: %d benchmark(s) within %.1fx of baseline\n", len(compared), *tolerance)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout))
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: redpatch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScalabilityFactored/replicas=32-8         	     100	      6500 ns/op	    2952 B/op	      21 allocs/op
+BenchmarkScalabilityFactored/replicas=64-8         	      50	     25000 ns/op	    5256 B/op	      21 allocs/op
+BenchmarkSweepCold81-8                             	       2	   9500000 ns/op	 3353870 B/op	   51398 allocs/op
+BenchmarkNotInBaseline-8                           	    1000	      1234 ns/op
+PASS
+ok  	redpatch	12.3s
+`
+
+const sampleBaseline = `{
+  "benchmarks": {
+    "BenchmarkScalabilityFactored/replicas=32": {"ns_per_op": 6357, "bytes_per_op": 2952, "allocs_per_op": 21},
+    "BenchmarkScalabilityFactored/replicas=64": {"ns_per_op": 24918, "bytes_per_op": 5256, "allocs_per_op": 21},
+    "BenchmarkSweepCold81": {"ns_per_op": 9362286, "bytes_per_op": 3353870, "allocs_per_op": 51398},
+    "BenchmarkNeverRun": {"ns_per_op": 1}
+  }
+}`
+
+func TestParseBenchStripsProcSuffixAndAverages(t *testing.T) {
+	got, err := parseBench(strings.NewReader(
+		"BenchmarkX-8 100 200 ns/op\nBenchmarkX-8 100 400 ns/op\nBenchmarkY 1 1.5e+06 ns/op\nnoise line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 300 {
+		t.Fatalf("BenchmarkX = %v, want averaged 300", got["BenchmarkX"])
+	}
+	if got["BenchmarkY"] != 1.5e6 {
+		t.Fatalf("BenchmarkY = %v, want 1.5e6", got["BenchmarkY"])
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := map[string]baselineEntry{
+		"A": {NsPerOp: 100},
+		"B": {NsPerOp: 100},
+		"C": {NsPerOp: 100},
+	}
+	current := map[string]float64{"A": 250, "B": 301, "D": 10}
+	compared, onlyBase, onlyCur := compare(base, current, 3.0)
+	if len(compared) != 2 {
+		t.Fatalf("compared %d, want 2", len(compared))
+	}
+	byName := map[string]comparison{}
+	for _, c := range compared {
+		byName[c.name] = c
+	}
+	if byName["A"].regressed {
+		t.Fatal("A (2.5x) flagged at 3x tolerance")
+	}
+	if !byName["B"].regressed {
+		t.Fatal("B (3.01x) not flagged at 3x tolerance")
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != "C" {
+		t.Fatalf("onlyBaseline = %v", onlyBase)
+	}
+	if len(onlyCur) != 1 || onlyCur[0] != "D" {
+		t.Fatalf("onlyCurrent = %v", onlyCur)
+	}
+}
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPassesWithinTolerance(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-baseline", writeBaseline(t, sampleBaseline)},
+		strings.NewReader(sampleBench), &out)
+	if code != 0 {
+		t.Fatalf("exit = %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkSweepCold81",
+		"(not in baseline, skipped)",
+		"(in baseline, not run)",
+		"within 3.0x of baseline",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	var out strings.Builder
+	// Tighten the tolerance until the 9500000/9362286 ratio fails.
+	code := run([]string{"-baseline", writeBaseline(t, sampleBaseline), "-tolerance", "1.01"},
+		strings.NewReader(sampleBench), &out)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output missing REGRESSION flag:\n%s", out.String())
+	}
+}
+
+func TestRunAgainstCommittedBaseline(t *testing.T) {
+	// The committed BENCH_PR3.json must stay parseable by this tool —
+	// it is the file CI feeds in.
+	var out strings.Builder
+	code := run([]string{"-baseline", "../../BENCH_PR3.json"},
+		strings.NewReader(sampleBench), &out)
+	if code != 0 {
+		t.Fatalf("exit = %d against committed baseline:\n%s", code, out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args  []string
+		stdin string
+	}{
+		"missing baseline":   {args: []string{"-baseline", "/nonexistent.json"}, stdin: sampleBench},
+		"empty input":        {args: nil, stdin: "no benchmarks here"},
+		"bad tolerance":      {args: []string{"-tolerance", "-1"}, stdin: sampleBench},
+		"two file arguments": {args: []string{"a.txt", "b.txt"}, stdin: ""},
+	} {
+		t.Run(name, func(t *testing.T) {
+			args := tc.args
+			if name != "missing baseline" && name != "two file arguments" {
+				args = append([]string{"-baseline", writeBaseline(t, sampleBaseline)}, args...)
+			}
+			var out strings.Builder
+			if code := run(args, strings.NewReader(tc.stdin), &out); code != 2 {
+				t.Fatalf("exit = %d, want 2; output:\n%s", code, out.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+// Warm-cache persistence: with -cache-dir set, every scenario's engine
+// memo cache is dumped to <dir>/<scenario>.cache.json — on graceful
+// shutdown, periodically while dirty, and read back on startup and on
+// scenario registration — so a restarted daemon answers previously
+// evaluated designs without re-solving a single model. Dumps are
+// fingerprinted by the vulnerability dataset, patch policy and schedule
+// (see redpatch.Config); a file written under different inputs is
+// rejected with a logged reason and the cache stays cold, which is
+// always safe: the worst case is re-solving.
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// cacheStore owns the cache directory. Scenario names are pre-validated
+// against scenarioName (letters, digits, dot, underscore, dash), so
+// they are safe path components by construction.
+type cacheStore struct {
+	dir string
+	m   *serverMetrics
+
+	// dumpMu serializes dump() whole: a periodic-flush tick racing the
+	// shutdown dump must never rename an older snapshot over a newer
+	// one while recording the newer count.
+	dumpMu sync.Mutex
+
+	mu     sync.Mutex
+	dumped map[string]int // cache size at the last load/dump per scenario
+}
+
+func newCacheStore(dir string, m *serverMetrics) (*cacheStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("creating cache dir: %w", err)
+	}
+	// Sweep temp files a crashed predecessor left mid-dump; the rename
+	// is atomic, so anything *.tmp is garbage by definition.
+	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, p := range stale {
+			if err := os.Remove(p); err == nil {
+				log.Printf("cache: removed stale temp dump %s", p)
+			}
+		}
+	}
+	return &cacheStore{dir: dir, m: m, dumped: make(map[string]int)}, nil
+}
+
+func (cs *cacheStore) path(name string) string {
+	return filepath.Join(cs.dir, name+".cache.json")
+}
+
+// load restores a scenario's cache file if one exists. Every failure —
+// missing file aside — is logged and leaves the scenario cold; a
+// mismatched or corrupt dump must never be merged.
+func (cs *cacheStore) load(sc *scenario) {
+	f, err := os.Open(cs.path(sc.name))
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		cs.m.cacheRestoreErrors.Inc()
+		log.Printf("cache: scenario %q: opening dump: %v", sc.name, err)
+		return
+	}
+	defer f.Close()
+	n, err := sc.study.RestoreCache(f)
+	if err != nil {
+		cs.m.cacheRestoreErrors.Inc()
+		log.Printf("cache: scenario %q: rejecting %s: %v", sc.name, cs.path(sc.name), err)
+		return
+	}
+	// Record the restored count, not the live CacheEntries(): solves
+	// that completed while the restore ran are not on disk yet, and
+	// counting them as dumped would make the clean check skip them.
+	cs.mu.Lock()
+	cs.dumped[sc.name] = n
+	cs.mu.Unlock()
+	cs.m.cacheRestoredEntries.Add(float64(n))
+	log.Printf("cache: scenario %q: restored %d designs from %s", sc.name, n, cs.path(sc.name))
+}
+
+// forget drops a scenario's dirty-tracking state on deletion, so a
+// future incarnation under the same name never inherits a stale "clean"
+// count that would suppress its dumps.
+func (cs *cacheStore) forget(name string) {
+	cs.mu.Lock()
+	delete(cs.dumped, name)
+	cs.mu.Unlock()
+}
+
+// dump writes one scenario's cache atomically (temp file + rename),
+// skipping the write when no design finished since the last dump.
+func (cs *cacheStore) dump(sc *scenario) {
+	cs.dumpMu.Lock()
+	defer cs.dumpMu.Unlock()
+	entries := sc.study.CacheEntries()
+	cs.mu.Lock()
+	clean := cs.dumped[sc.name] == entries
+	cs.mu.Unlock()
+	if clean {
+		return
+	}
+	tmp, err := os.CreateTemp(cs.dir, sc.name+".cache.*.tmp")
+	if err != nil {
+		cs.m.cacheFlushErrors.Inc()
+		log.Printf("cache: scenario %q: creating temp dump: %v", sc.name, err)
+		return
+	}
+	n, err := sc.study.SnapshotCache(tmp)
+	if err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), cs.path(sc.name))
+	}
+	if err != nil {
+		cs.m.cacheFlushErrors.Inc()
+		os.Remove(tmp.Name())
+		log.Printf("cache: scenario %q: writing dump: %v", sc.name, err)
+		return
+	}
+	cs.mu.Lock()
+	cs.dumped[sc.name] = n
+	cs.mu.Unlock()
+	cs.m.cacheFlushes.Inc()
+	log.Printf("cache: scenario %q: dumped %d designs to %s", sc.name, n, cs.path(sc.name))
+}
+
+// dumpCaches dumps every registered scenario; redpatchd calls it on
+// graceful shutdown and from the periodic flush loop.
+func (s *server) dumpCaches() {
+	if s.store == nil {
+		return
+	}
+	for _, sc := range s.reg.list() {
+		s.store.dump(sc)
+	}
+}
+
+// flushLoop periodically dumps dirty scenario caches until the context
+// ends. A crash between flushes loses at most one interval of solves —
+// re-solvable by definition — never the file's integrity, since dumps
+// are written atomically.
+func (s *server) flushLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.dumpCaches()
+		}
+	}
+}

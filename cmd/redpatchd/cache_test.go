@@ -1,0 +1,225 @@
+package main
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"redpatch"
+)
+
+const baseEvalBody = `{"dns":1,"web":2,"app":2,"db":1}`
+
+// TestCachePersistsAcrossRestart is the acceptance path: a daemon with
+// -cache-dir evaluates a design, dumps on shutdown, and its successor
+// serves the same design from the persisted cache — zero solves, one
+// hit, all visible in /metrics.
+func TestCachePersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	first := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	h := first.handler()
+	if w := do(t, h, http.MethodPost, "/api/v1/evaluate", baseEvalBody); w.Code != http.StatusOK {
+		t.Fatalf("evaluate status = %d: %s", w.Code, w.Body)
+	}
+	first.dumpCaches() // what main does after graceful Shutdown
+	if _, err := os.Stat(filepath.Join(dir, "default.cache.json")); err != nil {
+		t.Fatalf("no dump written: %v", err)
+	}
+
+	second := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	h2 := second.handler()
+	body := scrape(t, h2)
+	if got := metricValue(t, body, `redpatchd_engine_cache_entries{scenario="default"}`); got != "1" {
+		t.Fatalf("restored cache entries = %s, want 1", got)
+	}
+	if got := metricValue(t, body, `redpatchd_cache_restored_entries_total`); got != "1" {
+		t.Fatalf("restored counter = %s, want 1", got)
+	}
+
+	w := do(t, h2, http.MethodPost, "/api/v1/evaluate", baseEvalBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("restart evaluate status = %d: %s", w.Code, w.Body)
+	}
+	body = scrape(t, h2)
+	if got := metricValue(t, body, `redpatchd_engine_solves_total{scenario="default"}`); got != "0" {
+		t.Fatalf("restarted daemon re-solved: solves = %s, want 0", got)
+	}
+	if got := metricValue(t, body, `redpatchd_engine_cache_hits_total{scenario="default"}`); got != "1" {
+		t.Fatalf("warm hit not recorded: hits = %s, want 1", got)
+	}
+}
+
+// TestCacheRejectsForeignDump: a dump written under a different patch
+// policy (and so a different fingerprint) must be rejected on load —
+// the daemon starts cold and counts the rejection — never merged.
+func TestCacheRejectsForeignDump(t *testing.T) {
+	dir := t.TempDir()
+
+	foreign, err := redpatch.NewCaseStudyWithConfig(redpatch.Config{PatchAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foreign.EvaluateDesign("d", 1, 2, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "default.cache.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := foreign.SnapshotCache(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The daemon's default scenario uses the critical-threshold policy;
+	// the patch-all dump must not warm it.
+	s := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	body := scrape(t, s.handler())
+	if got := metricValue(t, body, `redpatchd_engine_cache_entries{scenario="default"}`); got != "0" {
+		t.Fatalf("foreign dump merged: cache entries = %s, want 0", got)
+	}
+	if got := metricValue(t, body, `redpatchd_cache_restore_errors_total`); got != "1" {
+		t.Fatalf("restore errors = %s, want 1", got)
+	}
+	if got := metricValue(t, body, `redpatchd_cache_restored_entries_total`); got != "0" {
+		t.Fatalf("restored entries = %s, want 0", got)
+	}
+}
+
+// TestScenarioRegistrationWarmsFromCache: a scenario registered after a
+// restart picks up the cache its earlier incarnation dumped, keyed by
+// its own name and guarded by its own fingerprint.
+func TestScenarioRegistrationWarmsFromCache(t *testing.T) {
+	dir := t.TempDir()
+	createBody := `{"name":"weekly","config":{"intervalHours":168}}`
+	evalBody := `{"scenario":"weekly","spec":{"tiers":[{"role":"dns","replicas":1},{"role":"web","replicas":1},{"role":"app","replicas":1},{"role":"db","replicas":1}]}}`
+
+	first := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	h := first.handler()
+	if w := do(t, h, http.MethodPost, "/api/v2/scenarios", createBody); w.Code != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, h, http.MethodPost, "/api/v2/evaluate", evalBody); w.Code != http.StatusOK {
+		t.Fatalf("evaluate status = %d: %s", w.Code, w.Body)
+	}
+	first.dumpCaches()
+	if _, err := os.Stat(filepath.Join(dir, "weekly.cache.json")); err != nil {
+		t.Fatalf("scenario dump missing: %v", err)
+	}
+
+	second := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	h2 := second.handler()
+	if w := do(t, h2, http.MethodPost, "/api/v2/scenarios", createBody); w.Code != http.StatusCreated {
+		t.Fatalf("re-create status = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, h2, http.MethodPost, "/api/v2/evaluate", evalBody); w.Code != http.StatusOK {
+		t.Fatalf("re-evaluate status = %d: %s", w.Code, w.Body)
+	}
+	body := scrape(t, h2)
+	if got := metricValue(t, body, `redpatchd_engine_solves_total{scenario="weekly"}`); got != "0" {
+		t.Fatalf("re-registered scenario re-solved: solves = %s, want 0", got)
+	}
+	if got := metricValue(t, body, `redpatchd_engine_cache_hits_total{scenario="weekly"}`); got != "1" {
+		t.Fatalf("warm hit not recorded: hits = %s", got)
+	}
+
+	// Re-registering under a different policy must reject the dump.
+	third := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	h3 := third.handler()
+	if w := do(t, h3, http.MethodPost, "/api/v2/scenarios",
+		`{"name":"weekly","config":{"intervalHours":24}}`); w.Code != http.StatusCreated {
+		t.Fatalf("conflicting re-create status = %d: %s", w.Code, w.Body)
+	}
+	body = scrape(t, h3)
+	if got := metricValue(t, body, `redpatchd_engine_cache_entries{scenario="weekly"}`); got != "0" {
+		t.Fatalf("mismatched scenario dump merged: entries = %s, want 0", got)
+	}
+	if got := metricValue(t, body, `redpatchd_cache_restore_errors_total`); got != "1" {
+		t.Fatalf("restore errors = %s, want 1", got)
+	}
+}
+
+// TestDeletedScenarioDumpsAfterRecreate: deleting a scenario must drop
+// its dirty-tracking state, so a successor under the same name (here
+// with a different policy, whose load rejects the old file) still gets
+// its solves dumped instead of being "clean" at the stale count.
+func TestDeletedScenarioDumpsAfterRecreate(t *testing.T) {
+	dir := t.TempDir()
+	evalBody := `{"scenario":"x","spec":{"tiers":[{"role":"dns","replicas":1},{"role":"web","replicas":1},{"role":"app","replicas":1},{"role":"db","replicas":1}]}}`
+
+	s := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	h := s.handler()
+	if w := do(t, h, http.MethodPost, "/api/v2/scenarios", `{"name":"x","config":{"intervalHours":168}}`); w.Code != http.StatusCreated {
+		t.Fatalf("create status = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, h, http.MethodPost, "/api/v2/evaluate", evalBody); w.Code != http.StatusOK {
+		t.Fatalf("evaluate status = %d: %s", w.Code, w.Body)
+	}
+	s.dumpCaches()
+	if w := do(t, h, http.MethodDelete, "/api/v2/scenarios/x", ""); w.Code != http.StatusNoContent {
+		t.Fatalf("delete status = %d: %s", w.Code, w.Body)
+	}
+	// The recreate's load rejects the old-policy file (fingerprint), so
+	// the new engine starts cold; its solve must still reach disk.
+	if w := do(t, h, http.MethodPost, "/api/v2/scenarios", `{"name":"x","config":{"intervalHours":24}}`); w.Code != http.StatusCreated {
+		t.Fatalf("re-create status = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, h, http.MethodPost, "/api/v2/evaluate", evalBody); w.Code != http.StatusOK {
+		t.Fatalf("re-evaluate status = %d: %s", w.Code, w.Body)
+	}
+	s.dumpCaches()
+	data, err := os.ReadFile(filepath.Join(dir, "x.cache.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "interval=24") {
+		t.Fatal("recreated scenario's solves were not dumped (file still holds the old policy)")
+	}
+}
+
+// TestDumpSkipsCleanCache: a second dumpCaches with no new solves must
+// not rewrite the file.
+func TestDumpSkipsCleanCache(t *testing.T) {
+	dir := t.TempDir()
+	s := mustServer(t, newStudy(t), serverConfig{cacheDir: dir})
+	h := s.handler()
+	if w := do(t, h, http.MethodPost, "/api/v1/evaluate", baseEvalBody); w.Code != http.StatusOK {
+		t.Fatalf("evaluate status = %d: %s", w.Code, w.Body)
+	}
+	s.dumpCaches()
+	path := filepath.Join(dir, "default.cache.json")
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.dumpCaches()
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("clean cache was re-dumped")
+	}
+	body := scrape(t, h)
+	if got := metricValue(t, body, `redpatchd_cache_flushes_total`); got != "1" {
+		t.Fatalf("flushes = %s, want 1", got)
+	}
+}
+
+// TestNewServerRejectsUnusableCacheDir: a cache path that cannot be a
+// directory fails construction instead of silently running without
+// persistence.
+func TestNewServerRejectsUnusableCacheDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(newStudy(t), serverConfig{cacheDir: file}); err == nil {
+		t.Fatal("newServer accepted a file as cache dir")
+	}
+}

@@ -8,11 +8,15 @@
 //
 //	redpatchd [-addr :8080] [-workers N] [-max-designs N] [-max-replicas N]
 //	          [-max-tiers N] [-max-scenarios N] [-pprof]
+//	          [-cache-dir DIR] [-cache-flush D]
 //	          [-critical-threshold s] [-patch-all] [-interval-hours h]
 //
 // Endpoints:
 //
 //	GET  /healthz          liveness plus engine cache counters
+//	GET  /metrics          Prometheus text format: per-route request
+//	                       counts and latency histograms, per-scenario
+//	                       engine/solver counters, cache persistence
 //	POST /api/v1/evaluate  one classic design: {"name","dns","web","app","db"}
 //	POST /api/v1/sweep     a classic design space with optional bounds
 //	POST /api/v1/pareto    like sweep, returning only the Pareto front
@@ -26,6 +30,14 @@
 //	POST   /api/v2/sweep/stream     the sweep as flushed NDJSON chunks
 //	POST   /api/v2/rank-patches     policy-aware single-patch ranking
 //	POST   /api/v2/plan-campaign    maintenance-window campaign planning
+//
+// With -cache-dir the daemon persists every scenario's engine memo
+// cache to <dir>/<scenario>.cache.json — on graceful shutdown and every
+// -cache-flush interval while dirty — and restores it on startup and on
+// scenario registration, so restarts keep the warmed cache. Dumps are
+// fingerprinted by the vulnerability dataset, patch policy and
+// schedule; a file written under different inputs is rejected with a
+// logged reason, never merged.
 //
 // With -pprof the daemon additionally mounts net/http/pprof under
 // /debug/pprof/ so sweep hot spots can be profiled in production; the
@@ -63,6 +75,8 @@ func main() {
 		patchAll     = flag.Bool("patch-all", false, "patch every vulnerability regardless of score")
 		interval     = flag.Float64("interval-hours", 0, "patch cadence in hours; 0 selects the paper's monthly 720")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+		cacheDir     = flag.String("cache-dir", "", "directory for persisted engine memo caches; empty disables persistence")
+		cacheFlush   = flag.Duration("cache-flush", 5*time.Minute, "periodic cache flush interval with -cache-dir; 0 flushes on shutdown only")
 	)
 	flag.Parse()
 
@@ -75,19 +89,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := newServer(study, serverConfig{
+	hs, err := newServer(study, serverConfig{
 		maxDesigns:   *maxSweep,
 		maxReplicas:  *maxRepl,
 		maxTiers:     *maxTiers,
 		maxScenarios: *maxScenarios,
 		workers:      *workers,
 		pprof:        *pprofOn,
+		cacheDir:     *cacheDir,
 		defaultConfig: scenarioConfig{
 			CriticalThreshold: *threshold,
 			PatchAll:          *patchAll,
 			IntervalHours:     *interval,
 		},
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           hs.handler(),
@@ -96,6 +114,9 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if hs.store != nil && *cacheFlush > 0 {
+		go hs.flushLoop(ctx, *cacheFlush)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("redpatchd listening on %s", *addr)
@@ -109,19 +130,26 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Fatal(err)
+		// A timed-out shutdown must still dump whatever finished —
+		// exiting here would throw away the whole warmed cache exactly
+		// when the daemon was busiest.
+		log.Printf("redpatchd: shutdown: %v", err)
 	}
+	// In-flight evaluations have finished (or were abandoned); dump the
+	// warmed caches so the next boot starts where this one left off.
+	hs.dumpCaches()
 }
 
 // serverConfig carries every request cap and registry parameter in one
 // place; zero-value fields select the documented defaults.
 type serverConfig struct {
-	maxDesigns   int  // largest enumerable sweep space (default 4096)
-	maxReplicas  int  // largest per-tier replica count (default 16)
-	maxTiers     int  // largest tier-group count per spec (default 8)
-	maxScenarios int  // registry capacity (default 32)
-	workers      int  // per-scenario worker pool; 0 = GOMAXPROCS
-	pprof        bool // mount /debug/pprof/ (opt-in)
+	maxDesigns   int    // largest enumerable sweep space (default 4096)
+	maxReplicas  int    // largest per-tier replica count (default 16)
+	maxTiers     int    // largest tier-group count per spec (default 8)
+	maxScenarios int    // registry capacity (default 32)
+	workers      int    // per-scenario worker pool; 0 = GOMAXPROCS
+	pprof        bool   // mount /debug/pprof/ (opt-in)
+	cacheDir     string // memo-cache persistence directory; empty disables
 	// defaultConfig is reported as the default scenario's configuration.
 	defaultConfig scenarioConfig
 }
@@ -132,6 +160,8 @@ type serverConfig struct {
 type server struct {
 	study       *redpatch.CaseStudy
 	reg         *registry
+	metrics     *serverMetrics
+	store       *cacheStore // nil without -cache-dir
 	maxDesigns  int
 	maxReplicas int
 	maxTiers    int
@@ -140,7 +170,7 @@ type server struct {
 	started     time.Time
 }
 
-func newServer(study *redpatch.CaseStudy, cfg serverConfig) *server {
+func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
 	if cfg.maxDesigns < 1 {
 		cfg.maxDesigns = 4096
 	}
@@ -150,9 +180,19 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) *server {
 	if cfg.maxTiers < 1 {
 		cfg.maxTiers = 8
 	}
-	return &server{
+	m := newServerMetrics()
+	var store *cacheStore
+	if cfg.cacheDir != "" {
+		var err error
+		if store, err = newCacheStore(cfg.cacheDir, m); err != nil {
+			return nil, err
+		}
+	}
+	s := &server{
 		study:       study,
-		reg:         newRegistry(study, cfg.defaultConfig, cfg.workers, cfg.maxScenarios),
+		reg:         newRegistry(study, cfg.defaultConfig, cfg.workers, cfg.maxScenarios, store),
+		metrics:     m,
+		store:       store,
 		maxDesigns:  cfg.maxDesigns,
 		maxReplicas: cfg.maxReplicas,
 		maxTiers:    cfg.maxTiers,
@@ -162,6 +202,14 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) *server {
 		pprof:     cfg.pprof,
 		started:   time.Now(),
 	}
+	m.registerCollectors(s)
+	if store != nil {
+		// The default scenario exists before any request; warm it now.
+		if sc, err := s.reg.get(defaultScenario); err == nil {
+			store.load(sc)
+		}
+	}
+	return s, nil
 }
 
 // checkReplicas bounds per-tier replica counts: the CTMC state space and
@@ -178,19 +226,26 @@ func (s *server) checkReplicas(counts ...int) error {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("POST /api/v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /api/v1/pareto", s.handlePareto)
-	mux.HandleFunc("GET /api/v2/scenarios", s.handleScenarioList)
-	mux.HandleFunc("POST /api/v2/scenarios", s.handleScenarioCreate)
-	mux.HandleFunc("DELETE /api/v2/scenarios/{name}", s.handleScenarioDelete)
-	mux.HandleFunc("POST /api/v2/evaluate", s.handleEvaluateV2)
-	mux.HandleFunc("POST /api/v2/sweep", s.handleSweepV2)
-	mux.HandleFunc("POST /api/v2/pareto", s.handleParetoV2)
-	mux.HandleFunc("POST /api/v2/sweep/stream", s.handleSweepStream)
-	mux.HandleFunc("POST /api/v2/rank-patches", s.handleRankPatches)
-	mux.HandleFunc("POST /api/v2/plan-campaign", s.handlePlanCampaign)
+	// Every route registers through the metrics middleware with its mux
+	// pattern as the route label, so /metrics reports per-endpoint
+	// request counts and latency histograms for the whole surface.
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	}
+	route("GET /healthz", s.handleHealthz)
+	route("GET /metrics", s.handleMetrics)
+	route("POST /api/v1/evaluate", s.handleEvaluate)
+	route("POST /api/v1/sweep", s.handleSweep)
+	route("POST /api/v1/pareto", s.handlePareto)
+	route("GET /api/v2/scenarios", s.handleScenarioList)
+	route("POST /api/v2/scenarios", s.handleScenarioCreate)
+	route("DELETE /api/v2/scenarios/{name}", s.handleScenarioDelete)
+	route("POST /api/v2/evaluate", s.handleEvaluateV2)
+	route("POST /api/v2/sweep", s.handleSweepV2)
+	route("POST /api/v2/pareto", s.handleParetoV2)
+	route("POST /api/v2/sweep/stream", s.handleSweepStream)
+	route("POST /api/v2/rank-patches", s.handleRankPatches)
+	route("POST /api/v2/plan-campaign", s.handlePlanCampaign)
 	if s.pprof {
 		// Explicit registrations rather than the net/http/pprof side
 		// effect: the daemon never serves http.DefaultServeMux. No

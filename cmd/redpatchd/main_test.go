@@ -29,12 +29,23 @@ func testServer(t *testing.T) *server {
 		if srvErr != nil {
 			return
 		}
-		srv = newServer(study, serverConfig{maxDesigns: 4096, maxReplicas: 16})
+		srv, srvErr = newServer(study, serverConfig{maxDesigns: 4096, maxReplicas: 16})
 	})
 	if srvErr != nil {
 		t.Fatal(srvErr)
 	}
 	return srv
+}
+
+// mustServer builds a fresh (non-shared) server for tests that assert
+// on per-server state such as metrics counters or cache files.
+func mustServer(t *testing.T, study *redpatch.CaseStudy, cfg serverConfig) *server {
+	t.Helper()
+	s, err := newServer(study, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func do(t *testing.T, h http.Handler, method, path, body string) *httptest.ResponseRecorder {
@@ -298,7 +309,7 @@ func TestPprofOptIn(t *testing.T) {
 	if w := do(t, off, http.MethodGet, "/debug/pprof/cmdline", ""); w.Code != http.StatusNotFound {
 		t.Errorf("pprof disabled: status = %d, want 404", w.Code)
 	}
-	on := newServer(testServer(t).study, serverConfig{pprof: true}).handler()
+	on := mustServer(t, testServer(t).study, serverConfig{pprof: true}).handler()
 	if w := do(t, on, http.MethodGet, "/debug/pprof/cmdline", ""); w.Code != http.StatusOK {
 		t.Errorf("pprof enabled: status = %d, want 200", w.Code)
 	}

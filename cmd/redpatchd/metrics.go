@@ -1,0 +1,148 @@
+package main
+
+// Observability: every route is wrapped in middleware recording request
+// counts (by route pattern and status code) and latency histograms, and
+// GET /metrics exposes them — alongside the per-scenario engine and
+// solver counters and the cache-persistence counters — in the
+// Prometheus text format via the dependency-free internal/metrics
+// registry.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"redpatch"
+
+	"redpatch/internal/metrics"
+)
+
+// serverMetrics bundles the daemon's registry and the instruments the
+// handlers and cache store write to. Engine and scenario counters are
+// not duplicated here: they are read from the live engines at scrape
+// time by the collectors registerCollectors wires up.
+type serverMetrics struct {
+	reg      *metrics.Registry
+	requests *metrics.CounterVec   // route, code
+	latency  *metrics.HistogramVec // route
+	inFlight *metrics.Gauge
+
+	cacheRestoredEntries *metrics.Counter
+	cacheRestoreErrors   *metrics.Counter
+	cacheFlushes         *metrics.Counter
+	cacheFlushErrors     *metrics.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.NewCounterVec("redpatchd_http_requests_total",
+			"HTTP requests served, by route pattern and status code.", "route", "code"),
+		latency: reg.NewHistogramVec("redpatchd_http_request_duration_seconds",
+			"HTTP request latency by route pattern.", nil, "route"),
+		inFlight: reg.NewGauge("redpatchd_http_in_flight_requests",
+			"HTTP requests currently being served."),
+		cacheRestoredEntries: reg.NewCounter("redpatchd_cache_restored_entries_total",
+			"Memo-cache entries restored from disk across all scenarios."),
+		cacheRestoreErrors: reg.NewCounter("redpatchd_cache_restore_errors_total",
+			"Cache dumps rejected on load (fingerprint/version mismatch or corruption)."),
+		cacheFlushes: reg.NewCounter("redpatchd_cache_flushes_total",
+			"Cache dumps written to disk (periodic, on shutdown, or on scenario load)."),
+		cacheFlushErrors: reg.NewCounter("redpatchd_cache_flush_errors_total",
+			"Cache dumps that failed to write."),
+	}
+}
+
+// registerCollectors wires the scrape-time collectors reading live
+// server state: the per-scenario engine and availability-solver
+// counters, cache sizes, scenario count and uptime. Called once the
+// scenario registry exists.
+func (m *serverMetrics) registerCollectors(s *server) {
+	perScenario := func(get func(*scenario) float64) func() []metrics.Sample {
+		return func() []metrics.Sample {
+			scs := s.reg.list()
+			out := make([]metrics.Sample, len(scs))
+			for i, sc := range scs {
+				out[i] = metrics.Sample{Labels: []string{sc.name}, Value: get(sc)}
+			}
+			return out
+		}
+	}
+	engineCounter := func(name, help string, get func(redpatch.EngineStats) uint64) {
+		m.reg.NewCounterVecFunc(name, help, []string{"scenario"}, perScenario(func(sc *scenario) float64 {
+			return float64(get(sc.study.EngineStats()))
+		}))
+	}
+	engineCounter("redpatchd_engine_solves_total",
+		"Full design evaluations performed (memo-cache misses).",
+		func(st redpatch.EngineStats) uint64 { return st.Solves })
+	engineCounter("redpatchd_engine_cache_hits_total",
+		"Design evaluations served from the memo cache, including joins on in-flight solves.",
+		func(st redpatch.EngineStats) uint64 { return st.Hits })
+	engineCounter("redpatchd_engine_factored_solves_total",
+		"Availability solves served by the factored per-tier path.",
+		func(st redpatch.EngineStats) uint64 { return st.FactoredSolves })
+	engineCounter("redpatchd_engine_srn_solves_total",
+		"Availability solves that generated and eliminated the full SRN.",
+		func(st redpatch.EngineStats) uint64 { return st.SRNSolves })
+	engineCounter("redpatchd_engine_tier_solves_total",
+		"Distinct (stack, replicas) tier factors solved.",
+		func(st redpatch.EngineStats) uint64 { return st.TierSolves })
+	engineCounter("redpatchd_engine_tier_factor_hits_total",
+		"Tier factors served from the per-evaluator memo.",
+		func(st redpatch.EngineStats) uint64 { return st.TierFactorHits })
+	m.reg.NewGaugeVecFunc("redpatchd_engine_cache_entries",
+		"Completed designs in the memo cache.", []string{"scenario"},
+		perScenario(func(sc *scenario) float64 { return float64(sc.study.CacheEntries()) }))
+	m.reg.NewGaugeFunc("redpatchd_scenarios",
+		"Registered scenarios, the default included.",
+		func() float64 { return float64(len(s.reg.list())) })
+	m.reg.NewGaugeFunc("redpatchd_uptime_seconds",
+		"Seconds since the daemon started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+}
+
+// instrument wraps a handler with the request-count and latency
+// middleware. The route label is the mux pattern, not the raw URL, so
+// cardinality stays bounded no matter what clients request.
+func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := m.latency.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			m.inFlight.Dec()
+			hist.Observe(time.Since(start).Seconds())
+			m.requests.With(route, strconv.Itoa(sw.status)).Inc()
+		}()
+		h(sw, r)
+	}
+}
+
+// statusWriter records the status code while passing Flush through, so
+// the NDJSON streaming endpoint keeps flushing per result under the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.reg.Handler().ServeHTTP(w, r)
+}

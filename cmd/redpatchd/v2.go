@@ -67,18 +67,20 @@ var scenarioName = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
 type registry struct {
 	workers int
 	limit   int
+	store   *cacheStore // nil without -cache-dir; warms new scenarios
 
 	mu        sync.RWMutex
 	scenarios map[string]*scenario
 }
 
-func newRegistry(def *redpatch.CaseStudy, defCfg scenarioConfig, workers, limit int) *registry {
+func newRegistry(def *redpatch.CaseStudy, defCfg scenarioConfig, workers, limit int, store *cacheStore) *registry {
 	if limit < 1 {
 		limit = 32
 	}
 	return &registry{
 		workers: workers,
 		limit:   limit,
+		store:   store,
 		scenarios: map[string]*scenario{
 			defaultScenario: {name: defaultScenario, cfg: defCfg, study: def, created: time.Now()},
 		},
@@ -142,18 +144,30 @@ func (r *registry) create(name string, cfg scenarioConfig) (*scenario, error) {
 	}
 	sc := &scenario{name: name, cfg: cfg, study: study, created: time.Now()}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, raced := r.scenarios[name]; raced {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("scenario %q: %w", name, errScenarioExists)
 	}
-	if len(r.scenarios) >= r.limit {
-		return nil, fmt.Errorf("registry full: %d scenarios", len(r.scenarios))
+	if full := len(r.scenarios); full >= r.limit {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("registry full: %d scenarios", full)
 	}
 	r.scenarios[name] = sc
+	r.mu.Unlock()
+	// A scenario re-registered after a restart (or deletion) picks its
+	// persisted cache back up; the fingerprint check rejects dumps from
+	// a different policy/schedule configuration.
+	if r.store != nil {
+		r.store.load(sc)
+	}
 	return sc, nil
 }
 
-// remove deletes a scenario; the default is permanent.
+// remove deletes a scenario; the default is permanent. Its cache file
+// stays on disk — a same-configuration re-registration warms back up,
+// a different one rejects the stale file — but the store's
+// dirty-tracking state is dropped so a successor's dumps are never
+// suppressed by the dead scenario's counts.
 func (r *registry) remove(name string) error {
 	if name == defaultScenario {
 		return fmt.Errorf("the %q scenario cannot be deleted", defaultScenario)
@@ -164,6 +178,9 @@ func (r *registry) remove(name string) error {
 		return fmt.Errorf("unknown scenario %q", name)
 	}
 	delete(r.scenarios, name)
+	if r.store != nil {
+		r.store.forget(name)
+	}
 	return nil
 }
 

@@ -101,6 +101,10 @@ type Engine struct {
 
 	solves atomic.Uint64
 	hits   atomic.Uint64
+	// done counts completed successful cache entries (Len's O(1)
+	// source): bumped per solve that memoizes and per restored entry;
+	// never decremented, since only erred entries leave the cache.
+	done atomic.Uint64
 }
 
 // New builds an engine over eval. eval must be safe for concurrent use
@@ -172,6 +176,8 @@ func (g *Engine) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, err
 					g.mu.Lock()
 					delete(g.cache, k)
 					g.mu.Unlock()
+				} else {
+					g.done.Add(1)
 				}
 				close(e.ready)
 			}()

@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs processed.")
+	c.Inc()
+	c.Add(2.5)
+	out := render(t, r)
+	want := "# HELP jobs_total Jobs processed.\n# TYPE jobs_total counter\njobs_total 3.5\n"
+	if out != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestCounterVecSortsChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("http_requests_total", "Requests by route and code.", "route", "code")
+	v.With("/b", "200").Inc()
+	v.With("/a", "500").Add(2)
+	v.With("/a", "200").Add(3)
+	out := render(t, r)
+	lines := strings.Split(strings.TrimSpace(out), "\n")[2:]
+	want := []string{
+		`http_requests_total{route="/a",code="200"} 3`,
+		`http_requests_total{route="/a",code="500"} 2`,
+		`http_requests_total{route="/b",code="200"} 1`,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestCounterRejectsDecrease(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("in_flight", "In-flight requests.")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if v := g.Value(); v != 1.5 {
+		t.Fatalf("gauge = %v", v)
+	}
+	g.Set(-4)
+	if !strings.Contains(render(t, r), "in_flight -4\n") {
+		t.Fatalf("exposition missing set value:\n%s", render(t, r))
+	}
+}
+
+func TestGaugeFuncReadsAtScrape(t *testing.T) {
+	r := NewRegistry()
+	val := 1.0
+	var mu sync.Mutex
+	r.NewGaugeFunc("live_value", "Read each scrape.", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return val
+	})
+	if !strings.Contains(render(t, r), "live_value 1\n") {
+		t.Fatal("first scrape wrong")
+	}
+	mu.Lock()
+	val = 7
+	mu.Unlock()
+	if !strings.Contains(render(t, r), "live_value 7\n") {
+		t.Fatal("second scrape did not re-read")
+	}
+}
+
+func TestCounterVecFuncSamples(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterVecFunc("engine_solves_total", "Solves per scenario.", []string{"scenario"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"what-if"}, Value: 2},
+			{Labels: []string{"default"}, Value: 5},
+		}
+	})
+	out := render(t, r)
+	di := strings.Index(out, `engine_solves_total{scenario="default"} 5`)
+	wi := strings.Index(out, `engine_solves_total{scenario="what-if"} 2`)
+	if di < 0 || wi < 0 || di > wi {
+		t.Fatalf("samples missing or unsorted:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and the le-inclusive 0.1
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 102.65`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("req_seconds", "", []float64{1}, "route")
+	v.With("/a").Observe(0.5)
+	v.With("/a").Observe(3)
+	out := render(t, r)
+	for _, want := range []string{
+		`req_seconds_bucket{route="/a",le="1"} 1`,
+		`req_seconds_bucket{route="/a",le="+Inf"} 2`,
+		`req_seconds_sum{route="/a"} 3.5`,
+		`req_seconds_count{route="/a"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecReturnsSameChild(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("c_total", "", "l")
+	if v.With("x") != v.With("x") {
+		t.Fatal("same labels must return the same child")
+	}
+	if v.With("x") == v.With("y") {
+		t.Fatal("different labels must return different children")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	for name, fn := range map[string]func(r *Registry){
+		"duplicate name": func(r *Registry) {
+			r.NewCounter("dup", "")
+			r.NewGauge("dup", "")
+		},
+		"invalid metric name": func(r *Registry) { r.NewCounter("0bad", "") },
+		"invalid label name":  func(r *Registry) { r.NewCounterVec("ok_total", "", "bad-label") },
+		"reserved le label":   func(r *Registry) { r.NewHistogramVec("h", "", nil, "le") },
+		"descending buckets":  func(r *Registry) { r.NewHistogram("h", "", []float64{2, 1}) },
+		"label arity": func(r *Registry) {
+			r.NewCounterVec("v_total", "", "a", "b").With("only-one")
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn(NewRegistry())
+		})
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("esc_total", "", "l")
+	v.With("a\"b\\c\nd").Inc()
+	out := render(t, r)
+	want := `esc_total{l="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("escaping wrong:\n%s", out)
+	}
+}
+
+func TestInfFormatting(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("g", "")
+	g.Set(math.Inf(1))
+	if !strings.Contains(render(t, r), "g +Inf\n") {
+		t.Fatalf("inf formatting:\n%s", render(t, r))
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("one_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "one_total 1\n") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentObservation hammers every metric kind from many
+// goroutines while scraping — the race detector is the assertion, the
+// final counts the sanity check.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	hv := r.NewHistogramVec("h_seconds", "", []float64{0.5}, "route")
+	cv := r.NewCounterVec("cv_total", "", "route")
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			route := string(rune('a' + id%2))
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				hv.With(route).Observe(float64(j%2) * 0.7)
+				cv.With(route).Inc()
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if _, err := r.WriteTo(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if v := c.Value(); v != goroutines*per {
+		t.Fatalf("counter = %v, want %d", v, goroutines*per)
+	}
+	out := render(t, r)
+	if !strings.Contains(out, "c_total 8000\n") {
+		t.Fatalf("final exposition:\n%s", out)
+	}
+}

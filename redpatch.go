@@ -28,7 +28,11 @@ package redpatch
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"redpatch/internal/availability"
@@ -178,23 +182,45 @@ type Config struct {
 	Workers int
 }
 
-// fingerprint distinguishes the policy configuration in engine cache
-// keys. It is computed over the resolved values, not the raw fields, so
-// Config{} and an explicit Config{CriticalThreshold: 8, PatchIntervalHours: 720}
-// fingerprint identically — they build the same policy.
+// datasetFingerprint content-addresses the vulnerability dataset every
+// case study evaluates against: a truncated SHA-256 over its canonical
+// JSON encoding (sorted by CVE ID). Computed once — the paper dataset
+// is immutable per process.
+var datasetFingerprint = sync.OnceValue(func() string {
+	data, err := json.Marshal(paperdata.VulnDB())
+	if err != nil {
+		// The curated dataset always marshals; failing here means the
+		// program cannot evaluate anything either.
+		panic(fmt.Sprintf("redpatch: fingerprinting vulnerability dataset: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:8])
+})
+
+// fingerprint identifies everything a cached result depends on: the
+// vulnerability dataset (content-addressed), the patch policy and the
+// schedule. Engine snapshots (SnapshotCache/RestoreCache) carry it, so
+// a cache dump taken under different inputs is rejected on restore
+// rather than silently served. It is computed over the resolved values,
+// not the raw fields, so Config{} and an explicit
+// Config{CriticalThreshold: 8, PatchIntervalHours: 720} fingerprint
+// identically — they build the same policy.
 func (c Config) fingerprint() string {
 	interval := c.PatchIntervalHours
 	if interval <= 0 {
 		interval = 720
 	}
+	policy := ""
 	if c.PatchAll {
-		return fmt.Sprintf("all,interval=%g", interval)
+		policy = "all"
+	} else {
+		thr := c.CriticalThreshold
+		if thr <= 0 {
+			thr = 8.0
+		}
+		policy = fmt.Sprintf("thr=%g", thr)
 	}
-	thr := c.CriticalThreshold
-	if thr <= 0 {
-		thr = 8.0
-	}
-	return fmt.Sprintf("thr=%g,interval=%g", thr, interval)
+	return fmt.Sprintf("db=%s,%s,interval=%g", datasetFingerprint(), policy, interval)
 }
 
 // NewCaseStudyWithConfig builds the case study under a custom patch
@@ -765,3 +791,21 @@ func (s *CaseStudy) EngineStats() EngineStats {
 		TierFactorHits: st.TierFactorHits,
 	}
 }
+
+// CacheEntries reports the number of completed designs in the engine's
+// memo cache (in-flight solves excluded).
+func (s *CaseStudy) CacheEntries() int { return s.eng.Len() }
+
+// SnapshotCache writes the engine's memo cache to w as versioned JSON,
+// fingerprinted by the vulnerability dataset, patch policy and schedule
+// the study was built under, and reports how many entries it wrote.
+// redpatchd dumps each scenario's cache this way on graceful shutdown
+// so a restart keeps the warmed cache.
+func (s *CaseStudy) SnapshotCache(w io.Writer) (int, error) { return s.eng.Snapshot(w) }
+
+// RestoreCache merges a SnapshotCache dump into the engine's memo cache
+// and reports how many entries it added. A dump taken under a different
+// vulnerability dataset, policy or schedule — a different fingerprint —
+// is rejected with engine.ErrSnapshotFingerprint and changes nothing;
+// designs already cached (or being solved) keep their live results.
+func (s *CaseStudy) RestoreCache(r io.Reader) (int, error) { return s.eng.Restore(r) }
