@@ -617,6 +617,206 @@ var (
 	paperNMOnce sync.Once
 )
 
+// securityBenchCases are the replica counts the security benchmarks run
+// at, each with the heaviest ASP strategy that stays feasible on the
+// expanded topology: the production exact-compromise configuration at
+// replicas=4 (65536 host combinations), path-OR at replicas=8 (4608
+// expanded paths; the exact computation is infeasible on the expanded
+// model there, while the quotient path handles it trivially).
+func securityBenchCases() []struct {
+	name string
+	n    int
+	opts harm.EvalOptions
+} {
+	return []struct {
+		name string
+		n    int
+		opts harm.EvalOptions
+	}{
+		{"replicas=4", 4, harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy}},
+		{"replicas=8", 8, harm.EvalOptions{Strategy: harm.ASPIndependentPaths, ORRule: attacktree.ORNoisy}},
+	}
+}
+
+// securityKeep is the critical-policy patch transformation used by both
+// security benchmarks.
+func securityKeep(b *testing.B) func(string, *attacktree.Leaf) bool {
+	b.Helper()
+	db := paperdata.VulnDB()
+	pol := patch.CriticalPolicy()
+	return func(role string, l *attacktree.Leaf) bool {
+		v, ok := db.ByID(l.Ref)
+		return !ok || !pol.Selects(v)
+	}
+}
+
+// BenchmarkSecurityExpanded measures one spec's security evaluation on
+// the replica-expanded HARM — build, evaluate, patch, evaluate — the
+// per-spec cost EvaluateSpec paid before the factored path.
+func BenchmarkSecurityExpanded(b *testing.B) {
+	trees := paperdata.Trees(paperdata.VulnDB())
+	keep := securityKeep(b)
+	for _, tc := range securityBenchCases() {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			spec := paperdata.Design{Name: "sec", DNS: tc.n, Web: tc.n, App: tc.n, DB: tc.n}.Spec()
+			wantPaths := tc.n * tc.n * tc.n * (tc.n + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				top, err := paperdata.SpecTopology(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h, err := harm.Build(harm.BuildInput{Topology: top, Trees: trees, TargetRoles: spec.TargetStacks()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				before, err := h.Evaluate(tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				patched, err := h.Patched(keep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := patched.Evaluate(tc.opts); err != nil {
+					b.Fatal(err)
+				}
+				if before.NoAP != wantPaths {
+					b.Fatalf("paths = %d, want %d", before.NoAP, wantPaths)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSecurityQuotient measures the same per-spec security
+// evaluation on the factored (quotient) model, built cold per iteration:
+// quotient topology, factored HARM, patch transformation and both
+// closed-form metric evaluations. The memoized path the sweeps take
+// (BenchmarkSweepSecurityFactored) amortizes everything but the two
+// Evaluate calls.
+func BenchmarkSecurityQuotient(b *testing.B) {
+	trees := paperdata.Trees(paperdata.VulnDB())
+	keep := securityKeep(b)
+	for _, tc := range securityBenchCases() {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			spec := paperdata.Design{Name: "sec", DNS: tc.n, Web: tc.n, App: tc.n, DB: tc.n}.Spec()
+			wantPaths := tc.n * tc.n * tc.n * (tc.n + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				quotient, mult, _, err := paperdata.SpecQuotient(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				top, err := paperdata.SpecTopology(quotient)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f, err := harm.BuildFactored(harm.BuildInput{Topology: top, Trees: trees, TargetRoles: quotient.TargetStacks()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				before, err := f.Evaluate(mult, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				patched, err := f.Patched(keep)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := patched.Evaluate(mult, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+				if before.NoAP != wantPaths {
+					b.Fatalf("paths = %d, want %d", before.NoAP, wantPaths)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSecurityQuotientMemo measures the steady-state per-spec
+// security evaluation — the factored model already memoized (as in every
+// sweep past the first spec of a variant structure), leaving only the
+// two closed-form Evaluate calls. This is the security cost EvaluateSpec
+// actually pays per design; compare BenchmarkSecurityExpanded for what
+// it paid before the factored path.
+func BenchmarkSecurityQuotientMemo(b *testing.B) {
+	trees := paperdata.Trees(paperdata.VulnDB())
+	keep := securityKeep(b)
+	for _, tc := range securityBenchCases() {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			spec := paperdata.Design{Name: "sec", DNS: tc.n, Web: tc.n, App: tc.n, DB: tc.n}.Spec()
+			quotient, mult, _, err := paperdata.SpecQuotient(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			top, err := paperdata.SpecTopology(quotient)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := harm.BuildFactored(harm.BuildInput{Topology: top, Trees: trees, TargetRoles: quotient.TargetStacks()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			patched, err := f.Patched(keep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wantPaths := tc.n * tc.n * tc.n * (tc.n + 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before, err := f.Evaluate(mult, tc.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := patched.Evaluate(mult, tc.opts); err != nil {
+					b.Fatal(err)
+				}
+				if before.NoAP != wantPaths {
+					b.Fatalf("paths = %d, want %d", before.NoAP, wantPaths)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepSecurityFactored is the sweep-scale security headline:
+// the 81-design 3^4 replica space evaluated fully cold — fresh evaluator
+// and engine per iteration — where the security memo holds the whole
+// space to a single factored HARM build (all 81 designs share one
+// variant structure).
+func BenchmarkSweepSecurityFactored(b *testing.B) {
+	spec := engine.FullSpace(3)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := redundancy.NewEvaluator(redundancy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := engine.New(ev, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := eng.Sweep(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total != 81 {
+			b.Fatalf("total = %d, want 81", res.Total)
+		}
+		st := ev.SolverStats()
+		if st.SecuritySolves != 1 || st.SecurityFactored != 81 {
+			b.Fatalf("security solves/factored = %d/%d, want 1/81",
+				st.SecuritySolves, st.SecurityFactored)
+		}
+	}
+}
+
 // BenchmarkSweepSerial is the pre-engine baseline: the 16-design space
 // (1..2 replicas per tier) evaluated by the serial EvaluateAll loop, no
 // caching, one core.

@@ -1,12 +1,12 @@
 // Command benchdiff compares `go test -bench` output against a
-// committed baseline (BENCH_PR3.json) and fails when a benchmark has
+// committed baseline (BENCH_PR5.json) and fails when a benchmark has
 // regressed beyond a tolerance factor — the CI gate that keeps the
 // factored-solver speedups honest without flaking on runner noise.
 //
 // Usage:
 //
 //	go test -run '^$' -bench B -benchtime 3x . | tee bench.txt
-//	benchdiff [-baseline BENCH_PR3.json] [-tolerance 3] [bench.txt]
+//	benchdiff [-baseline BENCH_PR5.json] [-tolerance 3] [-md out.md] [bench.txt]
 //
 // With no file argument the bench output is read from stdin. Only
 // benchmarks present in both the baseline and the run are compared
@@ -15,6 +15,10 @@
 // — CI machines differ from the baseline machine — so the gate catches
 // order-of-magnitude regressions (an accidental fall off the factored
 // path, a cache key that stopped matching), not single-digit noise.
+//
+// -md writes the per-benchmark delta table as GitHub-flavoured markdown
+// to the given file — regressions included — so CI can publish the
+// verdict in the job summary even when the gate fails.
 //
 // Exit status: 0 when every compared benchmark is within tolerance,
 // 1 on regression, 2 on usage or parse errors.
@@ -117,11 +121,61 @@ func compare(baseline map[string]baselineEntry, current map[string]float64, tole
 	return compared, onlyBaseline, onlyCurrent
 }
 
+// verdict renders one comparison's outcome; regressionCount tallies the
+// failures. Both the text and markdown reports derive from these, so the
+// two outputs can never disagree about a run.
+func (c comparison) verdict() string {
+	if c.regressed {
+		return "REGRESSION"
+	}
+	return "ok"
+}
+
+func regressionCount(compared []comparison) int {
+	n := 0
+	for _, c := range compared {
+		if c.regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// markdownReport renders the comparison as a GitHub-flavoured markdown
+// table with a one-line verdict, for CI job summaries.
+func markdownReport(compared []comparison, onlyBaseline, onlyCurrent []string, tolerance float64) string {
+	var b strings.Builder
+	b.WriteString("### Benchmark regression gate\n\n")
+	b.WriteString("| benchmark | baseline ns/op | current ns/op | ratio | verdict |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, c := range compared {
+		verdict := c.verdict()
+		if c.regressed {
+			verdict = "**" + verdict + "**"
+		}
+		fmt.Fprintf(&b, "| `%s` | %.0f | %.0f | %.2fx | %s |\n",
+			c.name, c.baseline, c.current, c.ratio, verdict)
+	}
+	for _, name := range onlyCurrent {
+		fmt.Fprintf(&b, "| `%s` | — | — | — | not in baseline, skipped |\n", name)
+	}
+	for _, name := range onlyBaseline {
+		fmt.Fprintf(&b, "| `%s` | — | — | — | in baseline, not run |\n", name)
+	}
+	if n := regressionCount(compared); n > 0 {
+		fmt.Fprintf(&b, "\n❌ %d benchmark(s) regressed beyond %.1fx\n", n, tolerance)
+	} else {
+		fmt.Fprintf(&b, "\n✅ %d benchmark(s) within %.1fx of baseline\n", len(compared), tolerance)
+	}
+	return b.String()
+}
+
 func run(args []string, in io.Reader, out io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(out)
-	baselinePath := fs.String("baseline", "BENCH_PR3.json", "baseline JSON file")
+	baselinePath := fs.String("baseline", "BENCH_PR5.json", "baseline JSON file")
 	tolerance := fs.Float64("tolerance", 3.0, "fail when current ns/op exceeds baseline by this factor")
+	mdPath := fs.String("md", "", "also write the delta table as markdown to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -165,15 +219,16 @@ func run(args []string, in io.Reader, out io.Writer) int {
 	}
 
 	compared, onlyBaseline, onlyCurrent := compare(base.Benchmarks, current, *tolerance)
-	regressions := 0
-	for _, c := range compared {
-		verdict := "ok"
-		if c.regressed {
-			verdict = "REGRESSION"
-			regressions++
+	if *mdPath != "" {
+		md := markdownReport(compared, onlyBaseline, onlyCurrent, *tolerance)
+		if err := os.WriteFile(*mdPath, []byte(md), 0o644); err != nil {
+			fmt.Fprintf(out, "benchdiff: writing %s: %v\n", *mdPath, err)
+			return 2
 		}
+	}
+	for _, c := range compared {
 		fmt.Fprintf(out, "%-60s %12.0f -> %12.0f ns/op  %5.2fx  %s\n",
-			c.name, c.baseline, c.current, c.ratio, verdict)
+			c.name, c.baseline, c.current, c.ratio, c.verdict())
 	}
 	for _, name := range onlyCurrent {
 		fmt.Fprintf(out, "%-60s (not in baseline, skipped)\n", name)
@@ -181,8 +236,8 @@ func run(args []string, in io.Reader, out io.Writer) int {
 	for _, name := range onlyBaseline {
 		fmt.Fprintf(out, "%-60s (in baseline, not run)\n", name)
 	}
-	if regressions > 0 {
-		fmt.Fprintf(out, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", regressions, *tolerance)
+	if n := regressionCount(compared); n > 0 {
+		fmt.Fprintf(out, "benchdiff: %d benchmark(s) regressed beyond %.1fx\n", n, *tolerance)
 		return 1
 	}
 	fmt.Fprintf(out, "benchdiff: %d benchmark(s) within %.1fx of baseline\n", len(compared), *tolerance)

@@ -13,7 +13,7 @@ pkg: redpatch
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkScalabilityFactored/replicas=32-8         	     100	      6500 ns/op	    2952 B/op	      21 allocs/op
 BenchmarkScalabilityFactored/replicas=64-8         	      50	     25000 ns/op	    5256 B/op	      21 allocs/op
-BenchmarkSweepCold81-8                             	       2	   9500000 ns/op	 3353870 B/op	   51398 allocs/op
+BenchmarkSweepCold81-8                             	       2	   1450000 ns/op	  588779 B/op	    9767 allocs/op
 BenchmarkNotInBaseline-8                           	    1000	      1234 ns/op
 PASS
 ok  	redpatch	12.3s
@@ -23,7 +23,7 @@ const sampleBaseline = `{
   "benchmarks": {
     "BenchmarkScalabilityFactored/replicas=32": {"ns_per_op": 6357, "bytes_per_op": 2952, "allocs_per_op": 21},
     "BenchmarkScalabilityFactored/replicas=64": {"ns_per_op": 24918, "bytes_per_op": 5256, "allocs_per_op": 21},
-    "BenchmarkSweepCold81": {"ns_per_op": 9362286, "bytes_per_op": 3353870, "allocs_per_op": 51398},
+    "BenchmarkSweepCold81": {"ns_per_op": 1396355, "bytes_per_op": 588779, "allocs_per_op": 9767},
     "BenchmarkNeverRun": {"ns_per_op": 1}
   }
 }`
@@ -104,7 +104,7 @@ func TestRunPassesWithinTolerance(t *testing.T) {
 
 func TestRunFailsOnRegression(t *testing.T) {
 	var out strings.Builder
-	// Tighten the tolerance until the 9500000/9362286 ratio fails.
+	// Tighten the tolerance until the 1450000/1396355 ratio fails.
 	code := run([]string{"-baseline", writeBaseline(t, sampleBaseline), "-tolerance", "1.01"},
 		strings.NewReader(sampleBench), &out)
 	if code != 1 {
@@ -115,14 +115,42 @@ func TestRunFailsOnRegression(t *testing.T) {
 	}
 }
 
-func TestRunAgainstCommittedBaseline(t *testing.T) {
-	// The committed BENCH_PR3.json must stay parseable by this tool —
-	// it is the file CI feeds in.
+func TestRunAgainstCommittedBaselines(t *testing.T) {
+	// The committed baselines must stay parseable by this tool —
+	// BENCH_PR5.json is the file CI feeds in, BENCH_PR3.json the
+	// historical one.
+	for _, baseline := range []string{"../../BENCH_PR5.json", "../../BENCH_PR3.json"} {
+		var out strings.Builder
+		code := run([]string{"-baseline", baseline},
+			strings.NewReader(sampleBench), &out)
+		if code != 0 {
+			t.Fatalf("exit = %d against %s:\n%s", code, baseline, out.String())
+		}
+	}
+}
+
+func TestRunWritesMarkdown(t *testing.T) {
+	md := filepath.Join(t.TempDir(), "diff.md")
 	var out strings.Builder
-	code := run([]string{"-baseline", "../../BENCH_PR3.json"},
+	// A failing gate must still write the full markdown table.
+	code := run([]string{"-baseline", writeBaseline(t, sampleBaseline), "-tolerance", "1.01", "-md", md},
 		strings.NewReader(sampleBench), &out)
-	if code != 0 {
-		t.Fatalf("exit = %d against committed baseline:\n%s", code, out.String())
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"| benchmark | baseline ns/op | current ns/op | ratio | verdict |",
+		"`BenchmarkSweepCold81`",
+		"**REGRESSION**",
+		"regressed beyond 1.0x",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("markdown missing %q:\n%s", want, data)
+		}
 	}
 }
 

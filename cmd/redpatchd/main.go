@@ -261,22 +261,28 @@ func (s *server) handler() http.Handler {
 
 // statsJSON mirrors redpatch.EngineStats in the wire format.
 type statsJSON struct {
-	Solves         uint64 `json:"solves"`
-	Hits           uint64 `json:"hits"`
-	FactoredSolves uint64 `json:"factoredSolves"`
-	SRNSolves      uint64 `json:"srnSolves"`
-	TierSolves     uint64 `json:"tierSolves"`
-	TierFactorHits uint64 `json:"tierFactorHits"`
+	Solves             uint64 `json:"solves"`
+	Hits               uint64 `json:"hits"`
+	FactoredSolves     uint64 `json:"factoredSolves"`
+	SRNSolves          uint64 `json:"srnSolves"`
+	TierSolves         uint64 `json:"tierSolves"`
+	TierFactorHits     uint64 `json:"tierFactorHits"`
+	SecurityFactored   uint64 `json:"securityFactored"`
+	SecuritySolves     uint64 `json:"securitySolves"`
+	SecurityFactorHits uint64 `json:"securityFactorHits"`
 }
 
 func toStatsJSON(st redpatch.EngineStats) statsJSON {
 	return statsJSON{
-		Solves:         st.Solves,
-		Hits:           st.Hits,
-		FactoredSolves: st.FactoredSolves,
-		SRNSolves:      st.SRNSolves,
-		TierSolves:     st.TierSolves,
-		TierFactorHits: st.TierFactorHits,
+		Solves:             st.Solves,
+		Hits:               st.Hits,
+		FactoredSolves:     st.FactoredSolves,
+		SRNSolves:          st.SRNSolves,
+		TierSolves:         st.TierSolves,
+		TierFactorHits:     st.TierFactorHits,
+		SecurityFactored:   st.SecurityFactored,
+		SecuritySolves:     st.SecuritySolves,
+		SecurityFactorHits: st.SecurityFactorHits,
 	}
 }
 

@@ -92,6 +92,15 @@ func (m *serverMetrics) registerCollectors(s *server) {
 	engineCounter("redpatchd_engine_tier_factor_hits_total",
 		"Tier factors served from the per-evaluator memo.",
 		func(st redpatch.EngineStats) uint64 { return st.TierFactorHits })
+	engineCounter("redpatchd_engine_security_factored_total",
+		"Security evaluations served by the factored (quotient) HARM path.",
+		func(st redpatch.EngineStats) uint64 { return st.SecurityFactored })
+	engineCounter("redpatchd_engine_security_solves_total",
+		"Factored security models built (one per variant structure).",
+		func(st redpatch.EngineStats) uint64 { return st.SecuritySolves })
+	engineCounter("redpatchd_engine_security_factor_hits_total",
+		"Security evaluations served from the security memo.",
+		func(st redpatch.EngineStats) uint64 { return st.SecurityFactorHits })
 	m.reg.NewGaugeVecFunc("redpatchd_engine_cache_entries",
 		"Completed designs in the memo cache.", []string{"scenario"},
 		perScenario(func(sc *scenario) float64 { return float64(sc.study.CacheEntries()) }))

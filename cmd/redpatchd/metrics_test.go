@@ -83,12 +83,22 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("%s = %s, want %s", series, got, want)
 		}
 	}
-	// The solver counters ride along: one factored solve, no SRN solve.
+	// The solver counters ride along: one factored solve, no SRN solve,
+	// and the security axis served by one factored (quotient) model.
 	if got := metricValue(t, body, `redpatchd_engine_factored_solves_total{scenario="default"}`); got != "1" {
 		t.Errorf("factored solves = %s, want 1", got)
 	}
 	if got := metricValue(t, body, `redpatchd_engine_srn_solves_total{scenario="default"}`); got != "0" {
 		t.Errorf("srn solves = %s, want 0", got)
+	}
+	if got := metricValue(t, body, `redpatchd_engine_security_factored_total{scenario="default"}`); got != "1" {
+		t.Errorf("security factored = %s, want 1", got)
+	}
+	if got := metricValue(t, body, `redpatchd_engine_security_solves_total{scenario="default"}`); got != "1" {
+		t.Errorf("security solves = %s, want 1", got)
+	}
+	if got := metricValue(t, body, `redpatchd_engine_security_factor_hits_total{scenario="default"}`); got != "0" {
+		t.Errorf("security factor hits = %s, want 0", got)
 	}
 	// Scraping /metrics is itself instrumented.
 	body = scrape(t, h)

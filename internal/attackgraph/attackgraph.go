@@ -19,17 +19,20 @@ import (
 // graphs.
 var ErrTooManyPaths = errors.New("attackgraph: too many attack paths")
 
-// Graph is a directed graph over string-named nodes.
+// Graph is a directed graph over string-named nodes. Adjacency is kept as
+// sorted successor slices maintained on insertion, so traversal
+// (Successors, AllPaths) never rebuilds or re-sorts per call and the graph
+// is safe for concurrent reads once construction is done.
 type Graph struct {
 	nodes map[string]bool
-	adj   map[string]map[string]bool
+	adj   map[string][]string // sorted successor names per node
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
 		nodes: make(map[string]bool),
-		adj:   make(map[string]map[string]bool),
+		adj:   make(map[string][]string),
 	}
 }
 
@@ -38,14 +41,12 @@ func (g *Graph) AddNode(name string) error {
 	if name == "" {
 		return fmt.Errorf("attackgraph: empty node name")
 	}
-	if !g.nodes[name] {
-		g.nodes[name] = true
-		g.adj[name] = make(map[string]bool)
-	}
+	g.nodes[name] = true
 	return nil
 }
 
-// AddEdge inserts a directed edge; both endpoints must exist.
+// AddEdge inserts a directed edge; both endpoints must exist. Inserting an
+// existing edge is a no-op.
 func (g *Graph) AddEdge(from, to string) error {
 	if !g.nodes[from] {
 		return fmt.Errorf("attackgraph: unknown node %q", from)
@@ -56,7 +57,15 @@ func (g *Graph) AddEdge(from, to string) error {
 	if from == to {
 		return fmt.Errorf("attackgraph: self edge on %q", from)
 	}
-	g.adj[from][to] = true
+	succ := g.adj[from]
+	i := sort.SearchStrings(succ, to)
+	if i < len(succ) && succ[i] == to {
+		return nil
+	}
+	succ = append(succ, "")
+	copy(succ[i+1:], succ[i:])
+	succ[i] = to
+	g.adj[from] = succ
 	return nil
 }
 
@@ -64,7 +73,11 @@ func (g *Graph) AddEdge(from, to string) error {
 func (g *Graph) HasNode(name string) bool { return g.nodes[name] }
 
 // HasEdge reports whether the directed edge exists.
-func (g *Graph) HasEdge(from, to string) bool { return g.adj[from][to] }
+func (g *Graph) HasEdge(from, to string) bool {
+	succ := g.adj[from]
+	i := sort.SearchStrings(succ, to)
+	return i < len(succ) && succ[i] == to
+}
 
 // RemoveNode deletes a node and every edge touching it. The HARM applies
 // it when patching leaves a host with an empty attack tree.
@@ -74,8 +87,11 @@ func (g *Graph) RemoveNode(name string) {
 	}
 	delete(g.nodes, name)
 	delete(g.adj, name)
-	for _, succ := range g.adj {
-		delete(succ, name)
+	for from, succ := range g.adj {
+		i := sort.SearchStrings(succ, name)
+		if i < len(succ) && succ[i] == name {
+			g.adj[from] = append(succ[:i], succ[i+1:]...)
+		}
 	}
 }
 
@@ -89,14 +105,10 @@ func (g *Graph) Nodes() []string {
 	return out
 }
 
-// Successors returns the direct successors of a node, sorted.
+// Successors returns the direct successors of a node, sorted. The slice is
+// the graph's own adjacency snapshot — callers must not modify it.
 func (g *Graph) Successors(name string) []string {
-	var out []string
-	for to := range g.adj[name] {
-		out = append(out, to)
-	}
-	sort.Strings(out)
-	return out
+	return g.adj[name]
 }
 
 // NumEdges returns the number of directed edges.
@@ -108,16 +120,18 @@ func (g *Graph) NumEdges() int {
 	return n
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The adjacency snapshot is copied
+// wholesale instead of replayed edge by edge.
 func (g *Graph) Clone() *Graph {
-	c := New()
+	c := &Graph{
+		nodes: make(map[string]bool, len(g.nodes)),
+		adj:   make(map[string][]string, len(g.adj)),
+	}
 	for n := range g.nodes {
-		_ = c.AddNode(n)
+		c.nodes[n] = true
 	}
 	for from, succ := range g.adj {
-		for to := range succ {
-			_ = c.AddEdge(from, to)
-		}
+		c.adj[from] = append([]string(nil), succ...)
 	}
 	return c
 }
@@ -174,7 +188,7 @@ func (g *Graph) AllPaths(src string, targets []string, opts AllPathsOptions) ([]
 	cur := Path{src}
 	var dfs func(node string) error
 	dfs = func(node string) error {
-		for _, next := range g.Successors(node) {
+		for _, next := range g.adj[node] {
 			if onPath[next] {
 				continue
 			}

@@ -2,6 +2,7 @@ package attackgraph
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -293,5 +294,45 @@ func TestDOT(t *testing.T) {
 	}
 	if dot != g.DOT() {
 		t.Error("DOT must be deterministic")
+	}
+}
+
+func TestAdjacencySnapshot(t *testing.T) {
+	g := New()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Out-of-order and duplicate inserts: Successors stays sorted and
+	// deduplicated without per-call rebuilding.
+	for _, e := range [][2]string{{"a", "d"}, {"a", "b"}, {"a", "c"}, {"a", "b"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"b", "c", "d"}
+	if got := g.Successors("a"); !reflect.DeepEqual(got, want) {
+		t.Errorf("Successors(a) = %v, want %v", got, want)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge("a", "c") || g.HasEdge("c", "a") {
+		t.Error("HasEdge misbehaves on the sorted snapshot")
+	}
+
+	// Clone copies the snapshot; removals on the clone leave the
+	// original intact, and vice versa.
+	c := g.Clone()
+	c.RemoveNode("c")
+	if c.HasNode("c") || c.HasEdge("a", "c") {
+		t.Error("RemoveNode left traces in the clone")
+	}
+	if got := c.Successors("a"); !reflect.DeepEqual(got, []string{"b", "d"}) {
+		t.Errorf("clone Successors(a) = %v, want [b d]", got)
+	}
+	if got := g.Successors("a"); !reflect.DeepEqual(got, want) {
+		t.Errorf("original Successors(a) = %v after clone removal, want %v", got, want)
 	}
 }

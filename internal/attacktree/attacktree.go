@@ -247,6 +247,81 @@ func probOf(n Node, rule ORRule) float64 {
 	}
 }
 
+// LeafCount returns the number of leaves without materializing them —
+// the alloc-free counterpart of len(Leaves()) for the NoEV hot path,
+// where the metric is recomputed per host instance.
+func (t *Tree) LeafCount() int {
+	if t.Empty() {
+		return 0
+	}
+	return leafCount(t.root)
+}
+
+func leafCount(n Node) int {
+	switch v := n.(type) {
+	case *Leaf:
+		return 1
+	case *Gate:
+		total := 0
+		for _, ch := range v.Children {
+			total += leafCount(ch)
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// Metrics evaluates impact and success probability in one traversal —
+// the combined form of Impact and Probability for evaluators that need
+// both per host and want to walk the tree once.
+func (t *Tree) Metrics(rule ORRule) (impact, prob float64) {
+	if t.Empty() {
+		return 0, 0
+	}
+	return metricsOf(t.root, rule)
+}
+
+func metricsOf(n Node, rule ORRule) (impact, prob float64) {
+	switch v := n.(type) {
+	case *Leaf:
+		return v.Impact, v.Prob
+	case *Gate:
+		if v.Op == AND {
+			prob = 1
+			for _, ch := range v.Children {
+				ci, cp := metricsOf(ch, rule)
+				impact += ci
+				prob *= cp
+			}
+			return impact, prob
+		}
+		if rule == ORNoisy {
+			q := 1.0
+			for _, ch := range v.Children {
+				ci, cp := metricsOf(ch, rule)
+				if ci > impact {
+					impact = ci
+				}
+				q *= 1 - cp
+			}
+			return impact, 1 - q
+		}
+		for _, ch := range v.Children {
+			ci, cp := metricsOf(ch, rule)
+			if ci > impact {
+				impact = ci
+			}
+			if cp > prob {
+				prob = cp
+			}
+		}
+		return impact, prob
+	default:
+		return 0, 0
+	}
+}
+
 // Leaves returns the leaves of the tree in depth-first order.
 func (t *Tree) Leaves() []*Leaf {
 	if t.Empty() {

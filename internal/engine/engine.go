@@ -63,6 +63,13 @@ type Stats struct {
 	// factors solved; TierFactorHits the number served from the memo.
 	TierSolves     uint64
 	TierFactorHits uint64
+	// SecurityFactored is the number of security evaluations served by
+	// the factored (quotient) path; SecuritySolves the number of
+	// factored security models built (one per variant structure);
+	// SecurityFactorHits the number served from the security memo.
+	SecurityFactored   uint64
+	SecuritySolves     uint64
+	SecurityFactorHits uint64
 }
 
 // SolverStatsProvider is the optional evaluator extension surfacing
@@ -131,6 +138,9 @@ func (g *Engine) Stats() Stats {
 		st.SRNSolves = ss.SRNSolves
 		st.TierSolves = ss.TierSolves
 		st.TierFactorHits = ss.TierFactorHits
+		st.SecurityFactored = ss.SecurityFactored
+		st.SecuritySolves = ss.SecuritySolves
+		st.SecurityFactorHits = ss.SecurityFactorHits
 	}
 	return st
 }

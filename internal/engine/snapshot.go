@@ -20,8 +20,12 @@ import (
 )
 
 // SnapshotVersion is the current snapshot format version. Restore
-// rejects snapshots written by other versions.
-const SnapshotVersion = 1
+// rejects snapshots written by other versions. Version 2 switched the
+// persisted security path detail to the factored evaluator's quotient
+// paths (PathMetric.Count carrying replica multiplicities); version-1
+// dumps hold the expanded per-instance detail and are rejected rather
+// than mixed with factored results.
+const SnapshotVersion = 2
 
 var (
 	// ErrSnapshotVersion reports a snapshot written by an incompatible

@@ -1,0 +1,193 @@
+package harm
+
+import (
+	"fmt"
+
+	"redpatch/internal/attackgraph"
+	"redpatch/internal/attacktree"
+	"redpatch/internal/mathx"
+)
+
+// This file implements the factored (replica-symmetric) security
+// evaluator. Redundant designs repeat identical hosts: every replica of a
+// (role, stack) class runs the same attack tree and — because tiers
+// connect all-to-all — has exactly the same reachability. The expanded
+// HARM therefore carries no information the replica-collapsed quotient
+// does not: its attack paths are the quotient's paths with one instance
+// chosen per class, so path counts multiply by the class multiplicities
+// and the exact compromise probability factors per class.
+//
+// Concretely, for a quotient path P over classes c with multiplicities
+// n_c and per-instance compromise probabilities p_c:
+//
+//   - every expanded path along P has probability prod_{c in P} p_c and
+//     there are prod_{c in P} n_c of them;
+//   - "some expanded path along P is fully compromised" is exactly
+//     "every class on P has at least one compromised instance", an event
+//     of probability prod_{c in P} (1 - (1-p_c)^{n_c}) with the class
+//     events independent across classes — any choice of compromised
+//     instances forms a valid expanded path precisely because inter-tier
+//     connectivity is all-to-all.
+//
+// So ASP under every strategy, AIM, NoAP, NoEP, NoEV and the shortest
+// path all follow from the quotient in closed form. A replica-R design
+// evaluates on a graph whose size is independent of R; the expanded
+// evaluator (Evaluate) remains as the cross-validation oracle
+// (TestFactoredSecurityEquivalence).
+
+// FactoredHARM is the quotient security model: a HARM whose hosts are
+// replica classes rather than host instances. Build it with
+// BuildFactored over the replica-collapsed topology; evaluate it with
+// per-class multiplicities. A FactoredHARM is immutable after
+// construction and safe for concurrent Evaluate calls, so one model
+// serves every replica vector of a design family.
+type FactoredHARM struct {
+	h *HARM
+}
+
+// BuildFactored constructs the factored model from a quotient topology:
+// one host node per replica class, with the class's attack tree resolved
+// through the usual role/instance template rules. The topology must
+// satisfy the quotient premise — within a class all replicas are
+// identical and identically connected — which holds by construction for
+// topologies produced by replica-collapsing a tiered design
+// (paperdata.SpecQuotient).
+func BuildFactored(in BuildInput) (*FactoredHARM, error) {
+	h, err := Build(in)
+	if err != nil {
+		return nil, err
+	}
+	return &FactoredHARM{h: h}, nil
+}
+
+// Patched returns the factored model after the patch transformation,
+// mirroring HARM.Patched: classes whose pruned trees empty drop out of
+// the quotient graph, exactly as their expanded replicas would.
+func (f *FactoredHARM) Patched(keep func(role string, leaf *attacktree.Leaf) bool) (*FactoredHARM, error) {
+	h, err := f.h.Patched(keep)
+	if err != nil {
+		return nil, err
+	}
+	return &FactoredHARM{h: h}, nil
+}
+
+// Quotient exposes the underlying quotient HARM (classes as hosts).
+func (f *FactoredHARM) Quotient() *HARM { return f.h }
+
+// Evaluate computes the full expanded-topology security metrics from the
+// quotient in closed form. mult maps class host names to their replica
+// counts; classes absent from the map count one replica. Metrics.Paths
+// lists quotient paths with Count carrying each path's expanded
+// multiplicity.
+//
+// The MaxPaths and MaxPathsExact caps apply to the quotient enumeration,
+// so designs whose expanded path counts would blow past the expanded
+// evaluator's limits stay exactly evaluable here — that is the point.
+func (f *FactoredHARM) Evaluate(mult map[string]int, opts EvalOptions) (Metrics, error) {
+	h := f.h
+	opts = opts.withDefaults()
+	for class, n := range mult {
+		if _, ok := h.lower[class]; !ok {
+			return Metrics{}, fmt.Errorf("harm: multiplicity for unknown class %q", class)
+		}
+		if n < 1 {
+			return Metrics{}, fmt.Errorf("harm: class %q multiplicity %d below 1", class, n)
+		}
+	}
+	multOf := func(class string) int {
+		if n, ok := mult[class]; ok {
+			return n
+		}
+		return 1
+	}
+
+	byTree := metricsByTree(h.lower, opts.ORRule)
+	var m Metrics
+	for class, tr := range h.lower {
+		m.NoEV += multOf(class) * byTree[tr].leaves
+	}
+	if len(h.targets) == 0 {
+		return m, nil
+	}
+	paths, err := h.upper.AllPaths(h.attacker, h.targets, attackgraph.AllPathsOptions{MaxPaths: opts.MaxPaths})
+	if err != nil {
+		return Metrics{}, fmt.Errorf("harm: %w", err)
+	}
+
+	m.Paths = make([]PathMetric, len(paths))
+	entries := make(map[string]bool)
+	for i, p := range paths {
+		pm := PathMetric{Path: p, Prob: 1, Count: 1}
+		for _, class := range p[1:] {
+			tm := byTree[h.lower[class]]
+			pm.Impact += tm.impact
+			pm.Prob *= tm.prob
+			pm.Count *= multOf(class)
+		}
+		m.Paths[i] = pm
+		m.NoAP += pm.Count
+		if len(p) >= 2 && !entries[p[1]] {
+			entries[p[1]] = true
+			m.NoEP += multOf(p[1])
+		}
+		if pm.Impact > m.AIM {
+			m.AIM = pm.Impact
+		}
+		if hops := len(p) - 1; m.ShortestPath == 0 || hops < m.ShortestPath {
+			m.ShortestPath = hops
+		}
+	}
+
+	switch opts.Strategy {
+	case ASPMaxPath:
+		// Every expanded path along a quotient path shares its
+		// probability, so the maximum is multiplicity-blind.
+		for _, pm := range m.Paths {
+			if pm.Prob > m.ASP {
+				m.ASP = pm.Prob
+			}
+		}
+	case ASPIndependentPaths:
+		q := 1.0
+		for _, pm := range m.Paths {
+			q *= intPow(1-pm.Prob, pm.Count)
+		}
+		m.ASP = mathx.Clamp01(1 - q)
+	case ASPCompromise:
+		// Per-class effective probability: at least one of the n_c
+		// replicas compromised. The class events are independent, so the
+		// expanded exact computation reduces to the same machinery over
+		// quotient paths.
+		eff := make(map[string]float64, len(h.lower))
+		for class, tr := range h.lower {
+			eff[class] = mathx.Clamp01(1 - intPow(1-byTree[tr].prob, multOf(class)))
+		}
+		asp, err := compromiseProbability(paths, eff, opts.MaxPathsExact)
+		if err != nil {
+			return Metrics{}, err
+		}
+		m.ASP = asp
+	default:
+		return Metrics{}, fmt.Errorf("harm: unknown ASP strategy %d", opts.Strategy)
+	}
+	return m, nil
+}
+
+// Classes returns the quotient's class names, sorted.
+func (f *FactoredHARM) Classes() []string { return f.h.Hosts() }
+
+// intPow raises x to a non-negative integer power by binary
+// exponentiation: exact for the 0/1 endpoints the attack trees produce,
+// deterministic, and O(log n) even for the path-multiplicity exponents
+// of large replica counts.
+func intPow(x float64, n int) float64 {
+	p := 1.0
+	for n > 0 {
+		if n&1 == 1 {
+			p *= x
+		}
+		x *= x
+		n >>= 1
+	}
+	return p
+}

@@ -8,6 +8,10 @@
 // attack impact (AIM), attack success probability (ASP), number of
 // exploitable vulnerabilities (NoEV), number of attack paths (NoAP) and
 // number of entry points (NoEP).
+//
+// Replica-redundant networks repeat identical hosts; the factored
+// evaluator (factored.go) exploits that symmetry to compute the same
+// metrics on a replica-collapsed quotient model in closed form.
 package harm
 
 import (
@@ -47,16 +51,23 @@ type HARM struct {
 	roles     map[string]*attacktree.Tree // templates by role (already pruned for patched HARMs)
 	instances map[string]*attacktree.Tree // per-instance overrides (already pruned for patched HARMs)
 	upper     *attackgraph.Graph
-	lower     map[string]*attacktree.Tree // per host instance; empty trees included
+	lower     map[string]*attacktree.Tree // per host instance; replicas of one role share the template tree
+	hosts     []string                    // sorted host names (keys of lower)
 	attacker  string
 	targets   []string
 	tgtRoles  []string
 }
 
+// emptyTree is the shared stand-in for hosts without an attack tree. The
+// lower layer aliases it rather than allocating one per host; Tree values
+// are read-only once built, so sharing is safe.
+var emptyTree = attacktree.New(nil)
+
 // Build constructs the HARM: the upper layer contains the attacker and
 // every host whose attack tree is non-empty (a host without exploitable
 // vulnerabilities cannot be compromised, so it cannot appear on an attack
-// path); the lower layer holds a cloned attack tree per host instance.
+// path); the lower layer references one cloned attack tree per role (or
+// per overridden instance), shared across that role's replicas.
 func Build(in BuildInput) (*HARM, error) {
 	if in.Topology == nil {
 		return nil, errors.New("harm: nil topology")
@@ -89,18 +100,25 @@ func Build(in BuildInput) (*HARM, error) {
 		}
 		instances[host] = tr.Clone()
 	}
+	return assemble(in.Topology, roles, instances, attackers[0].Name, in.TargetRoles)
+}
 
+// assemble wires a HARM from an already-validated topology and
+// already-owned attack trees — the shared tail of Build and Patched.
+// Hosts alias the role (or instance) tree directly instead of cloning it
+// per replica; the trees are never mutated after assembly.
+func assemble(top *topology.Topology, roles, instances map[string]*attacktree.Tree, attacker string, targetRoles []string) (*HARM, error) {
 	h := &HARM{
-		top:       in.Topology,
+		top:       top,
 		roles:     roles,
 		instances: instances,
 		lower:     make(map[string]*attacktree.Tree),
-		attacker:  attackers[0].Name,
-		tgtRoles:  append([]string(nil), in.TargetRoles...),
+		attacker:  attacker,
+		tgtRoles:  append([]string(nil), targetRoles...),
 	}
 
-	targetRole := make(map[string]bool, len(in.TargetRoles))
-	for _, r := range in.TargetRoles {
+	targetRole := make(map[string]bool, len(targetRoles))
+	for _, r := range targetRoles {
 		targetRole[r] = true
 	}
 
@@ -108,16 +126,17 @@ func Build(in BuildInput) (*HARM, error) {
 	if err := upper.AddNode(h.attacker); err != nil {
 		return nil, err
 	}
-	for _, host := range in.Topology.Hosts() {
+	for _, host := range top.Hosts() {
 		tr := instances[host.Name]
 		if tr == nil {
 			tr = roles[host.Role]
 		}
 		if tr == nil {
-			tr = attacktree.New(nil)
+			tr = emptyTree
 		}
-		h.lower[host.Name] = tr.Clone()
-		if h.lower[host.Name].Empty() {
+		h.lower[host.Name] = tr
+		h.hosts = append(h.hosts, host.Name)
+		if tr.Empty() {
 			continue // not attackable: excluded from the upper layer
 		}
 		if err := upper.AddNode(host.Name); err != nil {
@@ -127,17 +146,18 @@ func Build(in BuildInput) (*HARM, error) {
 			h.targets = append(h.targets, host.Name)
 		}
 	}
+	sort.Strings(h.hosts)
 	sort.Strings(h.targets)
 	if len(h.targets) == 0 {
 		// Legal (e.g. every target patched clean); path metrics are zero.
 		h.upper = upper
 		return h, nil
 	}
-	for _, n := range in.Topology.Nodes() {
+	for _, n := range top.Nodes() {
 		if !upper.HasNode(n.Name) {
 			continue
 		}
-		for _, to := range in.Topology.Successors(n.Name) {
+		for _, to := range top.Successors(n.Name) {
 			if upper.HasNode(to) {
 				if err := upper.AddEdge(n.Name, to); err != nil {
 					return nil, err
@@ -154,7 +174,9 @@ func Build(in BuildInput) (*HARM, error) {
 // vulnerability deletes its leaf, AND-combinations collapse, hosts left
 // with empty trees drop out of the attack graph). keep receives the host
 // role together with the leaf; for instance-tree overrides the role is
-// the host's role from the topology.
+// the host's role from the topology. The patched model overlays pruned
+// trees on the already-validated topology — nothing is re-validated and
+// no per-host tree is cloned.
 func (h *HARM) Patched(keep func(role string, leaf *attacktree.Leaf) bool) (*HARM, error) {
 	pruned := make(map[string]*attacktree.Tree, len(h.roles))
 	for role, tr := range h.roles {
@@ -169,12 +191,7 @@ func (h *HARM) Patched(keep func(role string, leaf *attacktree.Leaf) bool) (*HAR
 		}
 		prunedInst[host] = tr.Prune(func(l *attacktree.Leaf) bool { return keep(role, l) })
 	}
-	return Build(BuildInput{
-		Topology:      h.top,
-		Trees:         pruned,
-		InstanceTrees: prunedInst,
-		TargetRoles:   h.tgtRoles,
-	})
+	return assemble(h.top, pruned, prunedInst, h.attacker, h.tgtRoles)
 }
 
 // Attacker returns the attacker node name.
@@ -185,16 +202,12 @@ func (h *HARM) Targets() []string { return append([]string(nil), h.targets...) }
 
 // Hosts returns every host instance name (attackable or not), sorted.
 func (h *HARM) Hosts() []string {
-	out := make([]string, 0, len(h.lower))
-	for name := range h.lower {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), h.hosts...)
 }
 
 // Tree returns the attack tree of the given host instance (possibly
-// empty), or nil if the host is unknown.
+// empty), or nil if the host is unknown. Replicas of one role share the
+// returned tree; callers must treat it as read-only.
 func (h *HARM) Tree(host string) *attacktree.Tree { return h.lower[host] }
 
 // Upper returns a copy of the upper-layer attack graph.
@@ -259,6 +272,10 @@ type PathMetric struct {
 	Path   attackgraph.Path
 	Impact float64 // sum of host impacts along the path
 	Prob   float64 // product of host probabilities along the path
+	// Count is the number of concrete attack paths the entry stands for:
+	// 1 in expanded-topology evaluations, the replica multiplicity
+	// product in factored (quotient) evaluations.
+	Count int
 }
 
 // Metrics are the paper's five security metrics plus per-path detail.
@@ -281,7 +298,9 @@ type Metrics struct {
 	// "shortest attack path" metric of the security-metrics survey the
 	// paper cites.
 	ShortestPath int
-	// Paths is the per-path detail, in deterministic order.
+	// Paths is the per-path detail, in deterministic order. Factored
+	// evaluations list quotient (per-class) paths with Count carrying the
+	// replica multiplicity.
 	Paths []PathMetric
 }
 
@@ -290,13 +309,34 @@ type Metrics struct {
 // or raise the caps.
 var ErrExactASPInfeasible = errors.New("harm: exact ASP computation infeasible")
 
+// treeMetrics evaluates impact, probability and leaf count once per
+// distinct tree. Replicas alias their role's tree, so an n-replica tier
+// costs one tree walk instead of n.
+type treeMetrics struct {
+	impact, prob float64
+	leaves       int
+}
+
+func metricsByTree(lower map[string]*attacktree.Tree, rule attacktree.ORRule) map[*attacktree.Tree]treeMetrics {
+	out := make(map[*attacktree.Tree]treeMetrics, len(lower))
+	for _, tr := range lower {
+		if _, ok := out[tr]; ok {
+			continue
+		}
+		im, pr := tr.Metrics(rule)
+		out[tr] = treeMetrics{impact: im, prob: pr, leaves: tr.LeafCount()}
+	}
+	return out
+}
+
 // Evaluate computes the security metrics of the HARM.
 func (h *HARM) Evaluate(opts EvalOptions) (Metrics, error) {
 	opts = opts.withDefaults()
 
+	byTree := metricsByTree(h.lower, opts.ORRule)
 	var m Metrics
-	for _, host := range h.Hosts() {
-		m.NoEV += len(h.lower[host].Leaves())
+	for _, tr := range h.lower {
+		m.NoEV += byTree[tr].leaves
 	}
 	if len(h.targets) == 0 {
 		return m, nil
@@ -308,19 +348,18 @@ func (h *HARM) Evaluate(opts EvalOptions) (Metrics, error) {
 	m.NoAP = len(paths)
 	m.NoEP = len(attackgraph.EntryPoints(paths))
 
-	impact := make(map[string]float64, len(h.lower))
 	prob := make(map[string]float64, len(h.lower))
 	for host, tr := range h.lower {
-		impact[host] = tr.Impact()
-		prob[host] = tr.Probability(opts.ORRule)
+		prob[host] = byTree[tr].prob
 	}
 
 	m.Paths = make([]PathMetric, len(paths))
 	for i, p := range paths {
-		pm := PathMetric{Path: p, Prob: 1}
+		pm := PathMetric{Path: p, Prob: 1, Count: 1}
 		for _, host := range p[1:] { // skip the attacker node
-			pm.Impact += impact[host]
-			pm.Prob *= prob[host]
+			tm := byTree[h.lower[host]]
+			pm.Impact += tm.impact
+			pm.Prob *= tm.prob
 		}
 		m.Paths[i] = pm
 		if pm.Impact > m.AIM {
@@ -383,14 +422,15 @@ func (h *HARM) HostSummaries(opts EvalOptions) ([]HostSummary, error) {
 		}
 	}
 	centrality := attackgraph.Centrality(paths)
+	byTree := metricsByTree(h.lower, opts.ORRule)
 	out := make([]HostSummary, 0, len(h.lower))
-	for _, host := range h.Hosts() {
-		tr := h.lower[host]
+	for _, host := range h.hosts {
+		tm := byTree[h.lower[host]]
 		out = append(out, HostSummary{
 			Host:       host,
-			Vulns:      len(tr.Leaves()),
-			Impact:     tr.Impact(),
-			Prob:       tr.Probability(opts.ORRule),
+			Vulns:      tm.leaves,
+			Impact:     tm.impact,
+			Prob:       tm.prob,
 			Centrality: centrality[host],
 		})
 	}
@@ -450,52 +490,52 @@ func compromiseProbability(paths []attackgraph.Path, prob map[string]float64, ma
 
 // inclusionExclusion sums, for every non-empty subset S of paths, the
 // probability that every host on the union of S is compromised, with sign
-// (-1)^(|S|+1).
+// (-1)^(|S|+1). The include/exclude recursion carries the union mask and
+// its probability product down the call tree, multiplying in only the
+// hosts a path newly adds — no 2^k scratch table, no per-subset product
+// from scratch.
 func inclusionExclusion(pathMask []uint64, hostProb []float64) float64 {
-	k := len(pathMask)
-	total := 0.0
-	unionMask := make([]uint64, 1<<uint(k))
-	for s := 1; s < 1<<uint(k); s++ {
-		low := bits.TrailingZeros(uint(s))
-		unionMask[s] = unionMask[s&(s-1)] | pathMask[low]
-		p := 1.0
-		for m := unionMask[s]; m != 0; m &= m - 1 {
-			p *= hostProb[bits.TrailingZeros64(m)]
+	var rec func(i int, mask uint64, p, sign float64) float64
+	rec = func(i int, mask uint64, p, sign float64) float64 {
+		if i == len(pathMask) {
+			if mask == 0 {
+				return 0 // the empty subset contributes nothing
+			}
+			return sign * p
 		}
-		if bits.OnesCount(uint(s))%2 == 1 {
-			total += p
-		} else {
-			total -= p
+		total := rec(i+1, mask, p, sign)
+		pin := p
+		for m := pathMask[i] &^ mask; m != 0; m &= m - 1 {
+			pin *= hostProb[bits.TrailingZeros64(m)]
 		}
+		return total + rec(i+1, mask|pathMask[i], pin, -sign)
 	}
-	return mathx.Clamp01(total)
+	return mathx.Clamp01(rec(0, 0, 1, -1))
 }
 
 // hostEnumeration sums the probability of every host-compromise
-// combination in which at least one path is fully compromised.
+// combination in which at least one path is fully compromised. The
+// recursion accumulates the combination probability incrementally and
+// abandons subtrees whose probability has already collapsed to zero
+// (hosts with certain compromise contribute no mass to their
+// not-compromised branch).
 func hostEnumeration(pathMask []uint64, hostProb []float64) float64 {
 	h := len(hostProb)
-	total := 0.0
-	for mask := uint64(0); mask < 1<<uint(h); mask++ {
-		ok := false
-		for _, pm := range pathMask {
-			if pm&mask == pm {
-				ok = true
-				break
+	var rec func(i int, mask uint64, p float64) float64
+	rec = func(i int, mask uint64, p float64) float64 {
+		if p == 0 {
+			return 0
+		}
+		if i == h {
+			for _, pm := range pathMask {
+				if pm&mask == pm {
+					return p
+				}
 			}
+			return 0
 		}
-		if !ok {
-			continue
-		}
-		p := 1.0
-		for i := 0; i < h; i++ {
-			if mask&(1<<uint(i)) != 0 {
-				p *= hostProb[i]
-			} else {
-				p *= 1 - hostProb[i]
-			}
-		}
-		total += p
+		return rec(i+1, mask, p*(1-hostProb[i])) +
+			rec(i+1, mask|1<<uint(i), p*hostProb[i])
 	}
-	return mathx.Clamp01(total)
+	return mathx.Clamp01(rec(0, 0, 1))
 }

@@ -201,6 +201,54 @@ func (s DesignSpec) TargetStacks() []string {
 	return out
 }
 
+// SpecQuotient collapses a spec's replicas into classes: one host per
+// (logical tier, stack) pair. It returns the quotient spec (every class
+// at one replica, groups of one tier sharing a stack merged), the class
+// multiplicities keyed by the quotient topology's host names, and the
+// replica-independent structure key. Two specs that differ only in
+// replica counts share the structure key — and therefore, downstream,
+// one factored security model — while their multiplicity maps differ.
+// Within a class all replicas are identical (same attack tree) and
+// identically connected (SpecTopology wires tiers all-to-all), which is
+// exactly the premise of harm.FactoredHARM.
+func SpecQuotient(spec DesignSpec) (quotient DesignSpec, mult map[string]int, structure string, err error) {
+	if err := spec.Validate(); err != nil {
+		return DesignSpec{}, nil, "", err
+	}
+	quotient = DesignSpec{Name: spec.Name + "/quotient"}
+	replicas := make(map[string]int) // per class, in quotient tier order
+	for _, lt := range spec.Logical() {
+		seen := make(map[string]bool, len(lt.Groups))
+		for _, g := range lt.Groups {
+			stack := g.Stack()
+			key := lt.Role + "\x00" + stack
+			if !seen[stack] {
+				seen[stack] = true
+				variant := ""
+				if stack != lt.Role {
+					variant = stack
+				}
+				quotient.Tiers = append(quotient.Tiers, TierSpec{Role: lt.Role, Replicas: 1, Variant: variant})
+				replicas[key] = 0
+			}
+			replicas[key] += g.Replicas
+		}
+	}
+	// Class host names replay SpecTopology's stack-keyed counter over the
+	// quotient spec, where every class contributes exactly one host.
+	mult = make(map[string]int, len(quotient.Tiers))
+	counter := make(map[string]int)
+	for _, lt := range quotient.Logical() {
+		for _, g := range lt.Groups {
+			stack := g.Stack()
+			counter[stack]++
+			name := fmt.Sprintf("%s%d", stack, counter[stack])
+			mult[name] = replicas[lt.Role+"\x00"+stack]
+		}
+	}
+	return quotient, mult, quotient.Key(), nil
+}
+
 // tierSubnet places a logical tier on the Fig. 2 network: the paper's
 // DMZ assignments for the known roles, the intranet for everything else.
 func tierSubnet(role string) string {

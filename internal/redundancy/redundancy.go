@@ -46,16 +46,20 @@ type Evaluator struct {
 	evalOpts harm.EvalOptions
 	workers  int
 
-	mu      sync.Mutex // guards agg, plans and factors (lazy solves)
-	agg     map[string]availability.AggregatedRates
-	plans   map[string]patch.Plan
-	factors map[factorKey]availability.TierFactor
+	mu       sync.Mutex // guards agg, plans, factors and security (lazy solves)
+	agg      map[string]availability.AggregatedRates
+	plans    map[string]patch.Plan
+	factors  map[factorKey]availability.TierFactor
+	security map[securityKey]*securityFactor
 
-	// Availability-solver dispatch counters (see SolverStats).
-	factoredSolves atomic.Uint64
-	srnSolves      atomic.Uint64
-	tierSolves     atomic.Uint64
-	tierFactorHits atomic.Uint64
+	// Solver dispatch counters (see SolverStats).
+	factoredSolves   atomic.Uint64
+	srnSolves        atomic.Uint64
+	tierSolves       atomic.Uint64
+	tierFactorHits   atomic.Uint64
+	securityFactored atomic.Uint64
+	securitySolves   atomic.Uint64
+	securityHits     atomic.Uint64
 }
 
 // factorKey identifies one memoized tier factor: a software stack (whose
@@ -64,6 +68,25 @@ type Evaluator struct {
 type factorKey struct {
 	stack string
 	n     int
+}
+
+// securityKey identifies one memoized security factor: the
+// replica-independent quotient structure of a spec (logical tier order,
+// roles and per-tier variant multisets — paperdata.SpecQuotient's
+// structure key) under the evaluator's patch-policy fingerprint. Replica
+// counts deliberately do not appear: they enter the factored metrics in
+// closed form at evaluation time, which is what turns an R^k sweep into
+// O(#variant-combos) HARM evaluations.
+type securityKey struct {
+	structure string
+	policy    string
+}
+
+// securityFactor is one memoized factored security model: the quotient
+// HARM before and after the patch transformation. Both are immutable and
+// safe for concurrent Evaluate calls.
+type securityFactor struct {
+	before, after *harm.FactoredHARM
 }
 
 // Options configures an Evaluator. Zero-value fields select the paper's
@@ -99,6 +122,7 @@ func NewEvaluator(opts Options) (*Evaluator, error) {
 		agg:      make(map[string]availability.AggregatedRates),
 		plans:    make(map[string]patch.Plan),
 		factors:  make(map[factorKey]availability.TierFactor),
+		security: make(map[securityKey]*securityFactor),
 	}
 	if e.db == nil {
 		e.db = paperdata.VulnDB()
@@ -302,7 +326,110 @@ func (e *Evaluator) solveNetwork(nm availability.NetworkModel, stacks []string) 
 	return availability.ComposeNetwork(nm, factors)
 }
 
-// SolverStats counts the evaluator's availability-solver dispatch.
+// policyFingerprint renders the evaluator's patch-policy configuration
+// for the security-memo key. Within one evaluator the policy never
+// changes, but keeping it in the key makes a factor self-describing and
+// keeps any future cross-evaluator sharing honest.
+func (e *Evaluator) policyFingerprint() string {
+	return fmt.Sprintf("pol=%+v|sch=%+v|eval=%+v", e.policy, e.schedule, e.evalOpts)
+}
+
+// keepLeaf is the patch transformation's keep predicate: a leaf survives
+// the patch round unless its vulnerability is known and selected by the
+// evaluator's policy. One definition serves both the factored path and
+// the expanded oracle, so they can never disagree on patch semantics.
+func (e *Evaluator) keepLeaf(_ string, l *attacktree.Leaf) bool {
+	v, ok := e.db.ByID(l.Ref)
+	if !ok {
+		return true // unknown leaves cannot be patched away
+	}
+	return !e.policy.Selects(v)
+}
+
+// securityFactorFor returns the memoized factored security model of a
+// spec's quotient structure, building it on first use: the quotient
+// topology, its HARM, and the patched transformation — everything about
+// security that does not depend on replica counts. The build runs under
+// the mutex (it is microseconds of work on a replica-independent graph),
+// so concurrent misses for one structure never duplicate it and
+// SecuritySolves counts distinct structures exactly.
+func (e *Evaluator) securityFactorFor(quotient paperdata.DesignSpec, structure string) (*securityFactor, error) {
+	k := securityKey{structure: structure, policy: e.policyFingerprint()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if f, ok := e.security[k]; ok {
+		e.securityHits.Add(1)
+		return f, nil
+	}
+	top, err := paperdata.SpecTopology(quotient)
+	if err != nil {
+		return nil, err
+	}
+	before, err := harm.BuildFactored(harm.BuildInput{
+		Topology:    top,
+		Trees:       e.trees,
+		TargetRoles: quotient.TargetStacks(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	after, err := before.Patched(e.keepLeaf)
+	if err != nil {
+		return nil, err
+	}
+	f := &securityFactor{before: before, after: after}
+	e.securitySolves.Add(1)
+	e.security[k] = f
+	return f, nil
+}
+
+// securityFor evaluates both sides of the patch round for one spec via
+// the factored path: the quotient model is fetched (or built) once per
+// variant structure, and the spec's replica counts enter the metrics in
+// closed form. The expanded-topology evaluation (securityExpanded)
+// remains as the cross-validation oracle.
+func (e *Evaluator) securityFor(spec paperdata.DesignSpec) (before, after harm.Metrics, err error) {
+	quotient, mult, structure, err := paperdata.SpecQuotient(spec)
+	if err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	f, err := e.securityFactorFor(quotient, structure)
+	if err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	e.securityFactored.Add(1)
+	if before, err = f.before.Evaluate(mult, e.evalOpts); err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	if after, err = f.after.Evaluate(mult, e.evalOpts); err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	return before, after, nil
+}
+
+// securityExpanded evaluates the security metrics on the full
+// replica-expanded HARM — the original pipeline, kept as the oracle the
+// factored path is cross-validated against (TestFactoredSecurityEquivalence).
+func (e *Evaluator) securityExpanded(spec paperdata.DesignSpec) (before, after harm.Metrics, err error) {
+	h, err := e.buildHARM(spec)
+	if err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	if before, err = h.Evaluate(e.evalOpts); err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	patched, err := h.Patched(e.keepLeaf)
+	if err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	if after, err = patched.Evaluate(e.evalOpts); err != nil {
+		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	return before, after, nil
+}
+
+// SolverStats counts the evaluator's model-solver dispatch on both paper
+// axes.
 type SolverStats struct {
 	// FactoredSolves is the number of network solves served by the
 	// factored (per-tier birth–death) path.
@@ -315,42 +442,43 @@ type SolverStats struct {
 	TierSolves uint64
 	// TierFactorHits is the number of tier factors served from the memo.
 	TierFactorHits uint64
+	// SecurityFactored is the number of spec security evaluations served
+	// by the factored (quotient) path.
+	SecurityFactored uint64
+	// SecuritySolves is the number of factored security models built —
+	// one per distinct (variant structure, policy) pair, the security
+	// memo's miss count.
+	SecuritySolves uint64
+	// SecurityFactorHits is the number of security evaluations served
+	// from the memo.
+	SecurityFactorHits uint64
 }
 
 // SolverStats returns a snapshot of the dispatch counters.
 func (e *Evaluator) SolverStats() SolverStats {
 	return SolverStats{
-		FactoredSolves: e.factoredSolves.Load(),
-		SRNSolves:      e.srnSolves.Load(),
-		TierSolves:     e.tierSolves.Load(),
-		TierFactorHits: e.tierFactorHits.Load(),
+		FactoredSolves:     e.factoredSolves.Load(),
+		SRNSolves:          e.srnSolves.Load(),
+		TierSolves:         e.tierSolves.Load(),
+		TierFactorHits:     e.tierFactorHits.Load(),
+		SecurityFactored:   e.securityFactored.Load(),
+		SecuritySolves:     e.securitySolves.Load(),
+		SecurityFactorHits: e.securityHits.Load(),
 	}
 }
 
-// EvaluateSpec runs both models for one role-keyed design.
+// EvaluateSpec runs both models for one role-keyed design. Security goes
+// through the factored (quotient) evaluator: the replica-symmetric HARM
+// is built once per variant structure and the spec's replica counts enter
+// the metrics in closed form, so sweeps never rebuild or re-enumerate the
+// replica-expanded model.
 func (e *Evaluator) EvaluateSpec(spec paperdata.DesignSpec) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
-	h, err := e.buildHARM(spec)
-	if err != nil {
-		return Result{}, err
-	}
 	res := Result{Spec: spec}
-	if res.Before, err = h.Evaluate(e.evalOpts); err != nil {
-		return Result{}, err
-	}
-	patched, err := h.Patched(func(role string, l *attacktree.Leaf) bool {
-		v, ok := e.db.ByID(l.Ref)
-		if !ok {
-			return true // unknown leaves cannot be patched away
-		}
-		return !e.policy.Selects(v)
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	if res.After, err = patched.Evaluate(e.evalOpts); err != nil {
+	var err error
+	if res.Before, res.After, err = e.securityFor(spec); err != nil {
 		return Result{}, err
 	}
 

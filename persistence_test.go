@@ -55,6 +55,64 @@ func TestCachePersistenceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCachePersistenceVariantSpecs: two specs with the same replica
+// counts but different variant sets come from distinct factored security
+// models; their cached results must stay distinct through a
+// snapshot/restore round trip, and the restored study must serve both
+// without re-solving.
+func TestCachePersistenceVariantSpecs(t *testing.T) {
+	warm, err := NewCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := DesignSpec{Tiers: []TierSpec{
+		{Role: "dns", Replicas: 1}, {Role: "web", Replicas: 2},
+		{Role: "app", Replicas: 2}, {Role: "db", Replicas: 1},
+	}}
+	variant := DesignSpec{Tiers: []TierSpec{
+		{Role: "dns", Replicas: 1}, {Role: "web", Replicas: 2, Variant: "webalt"},
+		{Role: "app", Replicas: 2}, {Role: "db", Replicas: 1},
+	}}
+	wantPlain, err := warm.EvaluateSpec(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVariant, err := warm.EvaluateSpec(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantPlain.Before.NoEV == wantVariant.Before.NoEV {
+		t.Fatalf("plain and variant NoEV both %d; security factors leaked across variants",
+			wantPlain.Before.NoEV)
+	}
+
+	var buf bytes.Buffer
+	if n, err := warm.SnapshotCache(&buf); err != nil || n != 2 {
+		t.Fatalf("snapshot entries = %d, err = %v, want 2", n, err)
+	}
+	cold, err := NewCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := cold.RestoreCache(bytes.NewReader(buf.Bytes())); err != nil || restored != 2 {
+		t.Fatalf("restored = %d, err = %v", restored, err)
+	}
+	gotPlain, err := cold.EvaluateSpec(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVariant, err := cold.EvaluateSpec(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPlain, wantPlain) || !reflect.DeepEqual(gotVariant, wantVariant) {
+		t.Fatal("restored variant reports differ from the solve-time reports")
+	}
+	if st := cold.EngineStats(); st.Solves != 0 || st.Hits != 2 {
+		t.Fatalf("restored study solved %d / hit %d, want 0 / 2", st.Solves, st.Hits)
+	}
+}
+
 // TestCachePersistenceRejectsOtherPolicy: a dump written under one
 // patch policy or schedule must not restore into a study built under
 // another — same design keys, different models.

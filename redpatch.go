@@ -765,30 +765,40 @@ func (s *CaseStudy) SweepEach(ctx context.Context, req SweepRequest, fn func(Des
 // the number of full model evaluations performed, Hits the number of
 // requests served from the memo cache (including requests that joined an
 // in-flight solve of the same design). The solver counters break the
-// availability work down by dispatch path: FactoredSolves counts network
-// models answered by the per-tier factored solver, SRNSolves those that
-// generated and eliminated the full SRN, and TierSolves/TierFactorHits
-// the per-(stack, replicas) birth–death memo misses and hits behind the
-// factored path.
+// model work down by dispatch path: FactoredSolves counts network
+// availability models answered by the per-tier factored solver, SRNSolves
+// those that generated and eliminated the full SRN, and
+// TierSolves/TierFactorHits the per-(stack, replicas) birth–death memo
+// misses and hits behind the factored path. On the security axis,
+// SecurityFactored counts spec evaluations served by the quotient
+// (replica-symmetric) HARM evaluator, SecuritySolves the factored
+// security models built (one per variant structure), and
+// SecurityFactorHits the evaluations served from the security memo.
 type EngineStats struct {
-	Solves         uint64
-	Hits           uint64
-	FactoredSolves uint64
-	SRNSolves      uint64
-	TierSolves     uint64
-	TierFactorHits uint64
+	Solves             uint64
+	Hits               uint64
+	FactoredSolves     uint64
+	SRNSolves          uint64
+	TierSolves         uint64
+	TierFactorHits     uint64
+	SecurityFactored   uint64
+	SecuritySolves     uint64
+	SecurityFactorHits uint64
 }
 
 // EngineStats returns a snapshot of the case study's cache counters.
 func (s *CaseStudy) EngineStats() EngineStats {
 	st := s.eng.Stats()
 	return EngineStats{
-		Solves:         st.Solves,
-		Hits:           st.Hits,
-		FactoredSolves: st.FactoredSolves,
-		SRNSolves:      st.SRNSolves,
-		TierSolves:     st.TierSolves,
-		TierFactorHits: st.TierFactorHits,
+		Solves:             st.Solves,
+		Hits:               st.Hits,
+		FactoredSolves:     st.FactoredSolves,
+		SRNSolves:          st.SRNSolves,
+		TierSolves:         st.TierSolves,
+		TierFactorHits:     st.TierFactorHits,
+		SecurityFactored:   st.SecurityFactored,
+		SecuritySolves:     st.SecuritySolves,
+		SecurityFactorHits: st.SecurityFactorHits,
 	}
 }
 
