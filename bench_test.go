@@ -24,6 +24,7 @@ import (
 	"redpatch/internal/redundancy"
 	"redpatch/internal/sim"
 	"redpatch/internal/srn"
+	"redpatch/internal/trace"
 	"redpatch/internal/vulndb"
 )
 
@@ -882,6 +883,40 @@ func BenchmarkSweepCold81(b *testing.B) {
 			b.Fatalf("total = %d, want 81", res.Total)
 		}
 	}
+}
+
+// BenchmarkTraceOverhead prices the span tracer against the cold
+// 81-design sweep. "off" carries no tracer in the context — the
+// disabled Start path, which must stay allocation-free — while "on"
+// records the full span tree (sweep root, per-design evaluate spans,
+// solver children) into a bounded ring, exactly what redpatchd does per
+// request. The CI bench gate holds "on" within a few percent of "off".
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, ctx context.Context) {
+		ev, err := redundancy.NewEvaluator(redundancy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := engine.FullSpace(3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := engine.New(ev, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := eng.Sweep(ctx, spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Total != 81 {
+				b.Fatalf("total = %d, want 81", res.Total)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, context.Background()) })
+	b.Run("on", func(b *testing.B) {
+		run(b, trace.WithTracer(context.Background(), trace.New(trace.Options{})))
+	})
 }
 
 // BenchmarkSweepCached measures the repeat-sweep path: every design is

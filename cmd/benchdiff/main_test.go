@@ -117,9 +117,8 @@ func TestRunFailsOnRegression(t *testing.T) {
 
 func TestRunAgainstCommittedBaselines(t *testing.T) {
 	// The committed baselines must stay parseable by this tool —
-	// BENCH_PR5.json is the file CI feeds in, BENCH_PR3.json the
-	// historical one.
-	for _, baseline := range []string{"../../BENCH_PR5.json", "../../BENCH_PR3.json"} {
+	// BENCH_PR6.json is the file CI feeds in, the others historical.
+	for _, baseline := range []string{"../../BENCH_PR6.json", "../../BENCH_PR5.json", "../../BENCH_PR3.json"} {
 		var out strings.Builder
 		code := run([]string{"-baseline", baseline},
 			strings.NewReader(sampleBench), &out)

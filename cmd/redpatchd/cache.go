@@ -13,7 +13,7 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -26,6 +26,7 @@ import (
 type cacheStore struct {
 	dir string
 	m   *serverMetrics
+	log *slog.Logger
 
 	// dumpMu serializes dump() whole: a periodic-flush tick racing the
 	// shutdown dump must never rename an older snapshot over a newer
@@ -36,7 +37,10 @@ type cacheStore struct {
 	dumped map[string]int // cache size at the last load/dump per scenario
 }
 
-func newCacheStore(dir string, m *serverMetrics) (*cacheStore, error) {
+func newCacheStore(dir string, m *serverMetrics, logger *slog.Logger) (*cacheStore, error) {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("creating cache dir: %w", err)
 	}
@@ -45,11 +49,11 @@ func newCacheStore(dir string, m *serverMetrics) (*cacheStore, error) {
 	if stale, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
 		for _, p := range stale {
 			if err := os.Remove(p); err == nil {
-				log.Printf("cache: removed stale temp dump %s", p)
+				logger.Info("cache: removed stale temp dump", "path", p)
 			}
 		}
 	}
-	return &cacheStore{dir: dir, m: m, dumped: make(map[string]int)}, nil
+	return &cacheStore{dir: dir, m: m, log: logger, dumped: make(map[string]int)}, nil
 }
 
 func (cs *cacheStore) path(name string) string {
@@ -66,14 +70,14 @@ func (cs *cacheStore) load(sc *scenario) {
 	}
 	if err != nil {
 		cs.m.cacheRestoreErrors.Inc()
-		log.Printf("cache: scenario %q: opening dump: %v", sc.name, err)
+		cs.log.Error("cache: opening dump failed", "scenario", sc.name, "error", err)
 		return
 	}
 	defer f.Close()
 	n, err := sc.study.RestoreCache(f)
 	if err != nil {
 		cs.m.cacheRestoreErrors.Inc()
-		log.Printf("cache: scenario %q: rejecting %s: %v", sc.name, cs.path(sc.name), err)
+		cs.log.Error("cache: rejecting dump", "scenario", sc.name, "path", cs.path(sc.name), "error", err)
 		return
 	}
 	// Record the restored count, not the live CacheEntries(): solves
@@ -83,7 +87,7 @@ func (cs *cacheStore) load(sc *scenario) {
 	cs.dumped[sc.name] = n
 	cs.mu.Unlock()
 	cs.m.cacheRestoredEntries.Add(float64(n))
-	log.Printf("cache: scenario %q: restored %d designs from %s", sc.name, n, cs.path(sc.name))
+	cs.log.Info("cache: restored designs", "scenario", sc.name, "designs", n, "path", cs.path(sc.name))
 }
 
 // forget drops a scenario's dirty-tracking state on deletion, so a
@@ -110,7 +114,7 @@ func (cs *cacheStore) dump(sc *scenario) {
 	tmp, err := os.CreateTemp(cs.dir, sc.name+".cache.*.tmp")
 	if err != nil {
 		cs.m.cacheFlushErrors.Inc()
-		log.Printf("cache: scenario %q: creating temp dump: %v", sc.name, err)
+		cs.log.Error("cache: flush failed creating temp dump", "scenario", sc.name, "error", err)
 		return
 	}
 	n, err := sc.study.SnapshotCache(tmp)
@@ -125,14 +129,14 @@ func (cs *cacheStore) dump(sc *scenario) {
 	if err != nil {
 		cs.m.cacheFlushErrors.Inc()
 		os.Remove(tmp.Name())
-		log.Printf("cache: scenario %q: writing dump: %v", sc.name, err)
+		cs.log.Error("cache: flush failed writing dump", "scenario", sc.name, "error", err)
 		return
 	}
 	cs.mu.Lock()
 	cs.dumped[sc.name] = n
 	cs.mu.Unlock()
 	cs.m.cacheFlushes.Inc()
-	log.Printf("cache: scenario %q: dumped %d designs to %s", sc.name, n, cs.path(sc.name))
+	cs.log.Info("cache: dumped designs", "scenario", sc.name, "designs", n, "path", cs.path(sc.name))
 }
 
 // dumpCaches dumps every registered scenario; redpatchd calls it on

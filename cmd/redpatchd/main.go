@@ -8,7 +8,7 @@
 //
 //	redpatchd [-addr :8080] [-workers N] [-max-designs N] [-max-replicas N]
 //	          [-max-tiers N] [-max-scenarios N] [-pprof]
-//	          [-cache-dir DIR] [-cache-flush D]
+//	          [-cache-dir DIR] [-cache-flush D] [-log-format text|json]
 //	          [-critical-threshold s] [-patch-all] [-interval-hours h]
 //
 // Endpoints:
@@ -39,9 +39,21 @@
 // schedule; a file written under different inputs is rejected with a
 // logged reason, never merged.
 //
+// Every request runs under a trace: the daemon opens a root span per
+// request (joining an inbound W3C traceparent header when present), the
+// engine and solver layers attach child spans through the request
+// context, and a bounded in-memory ring retains recent traces.
+// ?explain=1 on POST /api/v2/evaluate returns the per-spec provenance
+// derived from those spans — which solver ran, whether the memo caches
+// hit, and the span timing breakdown — and /api/v2/sweep/stream emits
+// periodic {"progress":true,...} NDJSON events with done/total counts,
+// the cache-hit ratio and an ETA. Logs are structured (log/slog) and
+// carry trace_id/span_id; -log-format selects json or text.
+//
 // With -pprof the daemon additionally mounts net/http/pprof under
-// /debug/pprof/ so sweep hot spots can be profiled in production; the
-// endpoints are off by default because they expose runtime internals.
+// /debug/pprof/ and the recent-trace dump under GET /debug/traces so
+// sweep hot spots can be profiled in production; the endpoints are off
+// by default because they expose runtime internals.
 package main
 
 import (
@@ -50,7 +62,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -61,6 +73,7 @@ import (
 	"redpatch"
 
 	"redpatch/internal/paperdata"
+	"redpatch/internal/trace"
 )
 
 func main() {
@@ -74,11 +87,22 @@ func main() {
 		threshold    = flag.Float64("critical-threshold", 0, "CVSS base-score patch threshold; 0 selects the paper's 8.0")
 		patchAll     = flag.Bool("patch-all", false, "patch every vulnerability regardless of score")
 		interval     = flag.Float64("interval-hours", 0, "patch cadence in hours; 0 selects the paper's monthly 720")
-		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ and GET /debug/traces (off by default)")
 		cacheDir     = flag.String("cache-dir", "", "directory for persisted engine memo caches; empty disables persistence")
 		cacheFlush   = flag.Duration("cache-flush", 5*time.Minute, "periodic cache flush interval with -cache-dir; 0 flushes on shutdown only")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		logger.Error("redpatchd startup failed", "error", err)
+		os.Exit(1)
+	}
 
 	study, err := redpatch.NewCaseStudyWithConfig(redpatch.Config{
 		CriticalThreshold:  *threshold,
@@ -87,7 +111,7 @@ func main() {
 		Workers:            *workers,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	hs, err := newServer(study, serverConfig{
 		maxDesigns:   *maxSweep,
@@ -97,6 +121,7 @@ func main() {
 		workers:      *workers,
 		pprof:        *pprofOn,
 		cacheDir:     *cacheDir,
+		logger:       logger,
 		defaultConfig: scenarioConfig{
 			CriticalThreshold: *threshold,
 			PatchAll:          *patchAll,
@@ -104,7 +129,7 @@ func main() {
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -119,25 +144,42 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("redpatchd listening on %s", *addr)
+	logger.Info("redpatchd listening", "addr", *addr, "logFormat", *logFormat, "pprof", *pprofOn)
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("redpatchd serve failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Print("redpatchd shutting down")
+	logger.Info("redpatchd shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		// A timed-out shutdown must still dump whatever finished —
 		// exiting here would throw away the whole warmed cache exactly
 		// when the daemon was busiest.
-		log.Printf("redpatchd: shutdown: %v", err)
+		logger.Error("redpatchd shutdown incomplete", "error", err)
 	}
 	// In-flight evaluations have finished (or were abandoned); dump the
 	// warmed caches so the next boot starts where this one left off.
 	hs.dumpCaches()
+}
+
+// newLogger builds the daemon's structured logger: slog to stderr in
+// the chosen format, with trace_id/span_id stamped onto every record
+// logged with a request context (see trace.LogHandler).
+func newLogger(format string) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return nil, fmt.Errorf("-log-format=%q: want text or json", format)
+	}
+	return slog.New(trace.NewLogHandler(h)), nil
 }
 
 // serverConfig carries every request cap and registry parameter in one
@@ -148,8 +190,13 @@ type serverConfig struct {
 	maxTiers     int    // largest tier-group count per spec (default 8)
 	maxScenarios int    // registry capacity (default 32)
 	workers      int    // per-scenario worker pool; 0 = GOMAXPROCS
-	pprof        bool   // mount /debug/pprof/ (opt-in)
+	pprof        bool   // mount /debug/pprof/ and /debug/traces (opt-in)
 	cacheDir     string // memo-cache persistence directory; empty disables
+	// logger receives the daemon's structured log; nil discards, which
+	// keeps library-style uses (tests) quiet by default.
+	logger *slog.Logger
+	// progressEvery throttles NDJSON sweep progress events (default 2s).
+	progressEvery time.Duration
 	// defaultConfig is reported as the default scenario's configuration.
 	defaultConfig scenarioConfig
 }
@@ -158,16 +205,19 @@ type serverConfig struct {
 // handlers. study is the default scenario's case study, which the v1
 // endpoints serve directly.
 type server struct {
-	study       *redpatch.CaseStudy
-	reg         *registry
-	metrics     *serverMetrics
-	store       *cacheStore // nil without -cache-dir
-	maxDesigns  int
-	maxReplicas int
-	maxTiers    int
-	maxStates   int
-	pprof       bool
-	started     time.Time
+	study         *redpatch.CaseStudy
+	reg           *registry
+	metrics       *serverMetrics
+	tracer        *trace.Tracer
+	log           *slog.Logger
+	store         *cacheStore // nil without -cache-dir
+	maxDesigns    int
+	maxReplicas   int
+	maxTiers      int
+	maxStates     int
+	pprof         bool
+	progressEvery time.Duration
+	started       time.Time
 }
 
 func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
@@ -180,27 +230,40 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
 	if cfg.maxTiers < 1 {
 		cfg.maxTiers = 8
 	}
+	if cfg.logger == nil {
+		cfg.logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.progressEvery <= 0 {
+		cfg.progressEvery = 2 * time.Second
+	}
 	m := newServerMetrics()
 	var store *cacheStore
 	if cfg.cacheDir != "" {
 		var err error
-		if store, err = newCacheStore(cfg.cacheDir, m); err != nil {
+		if store, err = newCacheStore(cfg.cacheDir, m, cfg.logger); err != nil {
 			return nil, err
 		}
 	}
 	s := &server{
-		study:       study,
-		reg:         newRegistry(study, cfg.defaultConfig, cfg.workers, cfg.maxScenarios, store),
-		metrics:     m,
+		study:   study,
+		reg:     newRegistry(study, cfg.defaultConfig, cfg.workers, cfg.maxScenarios, store),
+		metrics: m,
+		// Tracing is always on: the ring is bounded, the disabled-path
+		// question is answered by the TraceOverhead benchmark, and the
+		// explain surface and histograms need the spans. Only the
+		// /debug/traces dump is gated (behind -pprof).
+		tracer:      trace.New(trace.Options{OnEnd: m.observeSpan}),
+		log:         cfg.logger,
 		store:       store,
 		maxDesigns:  cfg.maxDesigns,
 		maxReplicas: cfg.maxReplicas,
 		maxTiers:    cfg.maxTiers,
 		// The classic space caps at (maxReplicas+1)^4 CTMC states; hold
 		// arbitrary tier chains to the same order of magnitude.
-		maxStates: 1 << 20,
-		pprof:     cfg.pprof,
-		started:   time.Now(),
+		maxStates:     1 << 20,
+		pprof:         cfg.pprof,
+		progressEvery: cfg.progressEvery,
+		started:       time.Now(),
 	}
 	m.registerCollectors(s)
 	if store != nil {
@@ -226,11 +289,12 @@ func (s *server) checkReplicas(counts ...int) error {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	// Every route registers through the metrics middleware with its mux
-	// pattern as the route label, so /metrics reports per-endpoint
-	// request counts and latency histograms for the whole surface.
+	// Every route registers through the metrics and tracing middleware
+	// with its mux pattern as the route label and span attribute, so
+	// /metrics reports per-endpoint request counts and latency
+	// histograms and every request runs under a root span.
 	route := func(pattern string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+		mux.HandleFunc(pattern, s.metrics.instrument(pattern, s.traceMiddleware(pattern, h)))
 	}
 	route("GET /healthz", s.handleHealthz)
 	route("GET /metrics", s.handleMetrics)
@@ -255,6 +319,9 @@ func (s *server) handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// The recent-trace ring rides the same opt-in: span attributes
+		// reveal request shapes and internal timings.
+		route("GET /debug/traces", s.handleDebugTraces)
 	}
 	return mux
 }
@@ -325,9 +392,10 @@ func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// The request is validated: anything EvaluateDesign reports now is a
+	// The request is validated: anything the evaluation reports now is a
 	// model-solve fault, a server error rather than a client one.
-	report, err := s.study.EvaluateDesign(req.Name, req.DNS, req.Web, req.App, req.DB)
+	report, err := s.study.EvaluateSpecCtx(r.Context(),
+		redpatch.ClassicSpec(req.Name, req.DNS, req.Web, req.App, req.DB))
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

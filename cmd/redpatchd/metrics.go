@@ -20,12 +20,16 @@ import (
 // serverMetrics bundles the daemon's registry and the instruments the
 // handlers and cache store write to. Engine and scenario counters are
 // not duplicated here: they are read from the live engines at scrape
-// time by the collectors registerCollectors wires up.
+// time by the collectors registerCollectors wires up; the queue-wait
+// and solver-time histograms are fed from finished trace spans (see
+// observeSpan), not from instrumentation inside the solvers.
 type serverMetrics struct {
-	reg      *metrics.Registry
-	requests *metrics.CounterVec   // route, code
-	latency  *metrics.HistogramVec // route
-	inFlight *metrics.Gauge
+	reg        *metrics.Registry
+	requests   *metrics.CounterVec   // route, code
+	latency    *metrics.HistogramVec // route
+	inFlight   *metrics.Gauge
+	queueWait  *metrics.Histogram
+	solverTime *metrics.HistogramVec // kind
 
 	cacheRestoredEntries *metrics.Counter
 	cacheRestoreErrors   *metrics.Counter
@@ -43,6 +47,15 @@ func newServerMetrics() *serverMetrics {
 			"HTTP request latency by route pattern.", nil, "route"),
 		inFlight: reg.NewGauge("redpatchd_http_in_flight_requests",
 			"HTTP requests currently being served."),
+		// Factored solves finish in microseconds and sweep backlogs reach
+		// seconds; DefBuckets' 5ms floor would flatten both, so these use
+		// exponential bucket spreads instead.
+		queueWait: reg.NewHistogram("redpatchd_engine_queue_wait_seconds",
+			"Time from sweep start until a pool worker picked the design up, from trace spans.",
+			metrics.ExpBuckets(1e-5, 4, 12)),
+		solverTime: reg.NewHistogramVec("redpatchd_solver_duration_seconds",
+			"Model solve time by solver kind, from trace spans.",
+			metrics.ExpBuckets(1e-6, 4, 14), "kind"),
 		cacheRestoredEntries: reg.NewCounter("redpatchd_cache_restored_entries_total",
 			"Memo-cache entries restored from disk across all scenarios."),
 		cacheRestoreErrors: reg.NewCounter("redpatchd_cache_restore_errors_total",

@@ -321,12 +321,18 @@ func (s *server) handleEvaluateV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	report, err := sc.study.EvaluateSpec(spec)
+	report, err := sc.study.EvaluateSpecCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"scenario": sc.name, "report": report})
+	resp := map[string]any{"scenario": sc.name, "report": report}
+	if wantExplain(r) {
+		// The solver spans have all ended by now; only the root span is
+		// still open, so the provenance block is complete.
+		resp["explain"] = s.explain(r.Context())
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleRankPatches(w http.ResponseWriter, r *http.Request) {
@@ -440,7 +446,9 @@ func (s *server) handleParetoV2(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSweepStream streams sweep results as NDJSON: one report object
-// per line in completion order, flushed as each design finishes, then a
+// per line in completion order, flushed as each design finishes,
+// periodic {"progress":true,...} events with done/total counts, the
+// cache-hit ratio and an ETA (at most one per progressEvery), then a
 // {"done":true,...} trailer. Client disconnects cancel the sweep through
 // the request context. Errors after the first byte cannot change the
 // status code; they surface as an {"error":...} line instead.
@@ -455,7 +463,38 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w) // compact: one JSON object per line
 	kept := 0
-	total, err := sc.study.SweepSpecEach(r.Context(), req, func(rep redpatch.DesignReport) error {
+	// Progress runs on the same collector goroutine as the per-report
+	// callback, so both share the encoder without locking. The cache-hit
+	// ratio is computed from the engine-stats delta since the sweep
+	// began, not the lifetime totals, so it describes this sweep.
+	st0 := sc.study.EngineStats()
+	start := time.Now()
+	lastProgress := start
+	progress := func(done, total int) {
+		if done >= total || time.Since(lastProgress) < s.progressEvery {
+			return
+		}
+		lastProgress = time.Now()
+		st := sc.study.EngineStats()
+		hits := st.Hits - st0.Hits
+		ratio := 0.0
+		if looked := hits + st.Solves - st0.Solves; looked > 0 {
+			ratio = float64(hits) / float64(looked)
+		}
+		elapsed := time.Since(start)
+		eta := elapsed.Seconds() / float64(done) * float64(total-done)
+		_ = enc.Encode(map[string]any{
+			"progress":      true,
+			"done":          done,
+			"total":         total,
+			"cacheHitRatio": ratio,
+			"etaSeconds":    eta,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	total, err := sc.study.SweepSpecEachProgress(r.Context(), req, func(rep redpatch.DesignReport) error {
 		kept++
 		if err := enc.Encode(rep); err != nil {
 			return err
@@ -464,7 +503,7 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		return nil
-	})
+	}, progress)
 	if err != nil {
 		_ = enc.Encode(map[string]string{"error": err.Error()})
 		return

@@ -1,12 +1,14 @@
 package availability
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"redpatch/internal/mathx"
+	"redpatch/internal/trace"
 )
 
 // randomModel builds a random grouped network model: 1-3 logical groups,
@@ -50,6 +52,9 @@ func randomModel(rng *rand.Rand) NetworkModel {
 // solution must agree with the SRN oracle on every NetworkSolution
 // measure within 1e-9. CI runs it under the race detector.
 func TestFactoredEquivalence(t *testing.T) {
+	// The oracle solves run traced, so the gate also covers the span
+	// recording path the daemon adds around the solver.
+	ctx := trace.WithTracer(context.Background(), trace.New(trace.Options{}))
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		nm := randomModel(rng)
@@ -58,7 +63,7 @@ func TestFactoredEquivalence(t *testing.T) {
 			t.Logf("seed %d: factored solve: %v", seed, err)
 			return false
 		}
-		srn, err := SolveNetworkSRN(nm)
+		srn, err := SolveNetworkSRNCtx(ctx, nm)
 		if err != nil {
 			t.Logf("seed %d: SRN solve: %v", seed, err)
 			return false

@@ -1,0 +1,38 @@
+package availability
+
+import (
+	"context"
+
+	"redpatch/internal/trace"
+)
+
+// This file holds the context-threaded variants of the upper-layer
+// solvers. Each wraps its untraced counterpart in a span so a request
+// trace shows which solver ran and how long the solve took; with no
+// tracer in the context they cost one nil check and delegate directly.
+// Only genuinely expensive steps get a variant here — closed-form work
+// (ComposeNetwork) is recorded by callers as span attributes instead.
+
+// SolveNetworkSRNCtx is SolveNetworkSRN under an "availability.srn"
+// span recording the tier count and the eliminated state-space size.
+func SolveNetworkSRNCtx(ctx context.Context, nm NetworkModel) (NetworkSolution, error) {
+	_, sp := trace.Start(ctx, "availability.srn",
+		trace.Attr{Key: "tiers", Value: len(nm.Tiers)})
+	sol, err := SolveNetworkSRN(nm)
+	if err == nil {
+		sp.SetAttr("states", sol.States)
+	}
+	sp.EndErr(err)
+	return sol, err
+}
+
+// SolveTierFactorCtx is SolveTierFactor under an
+// "availability.tierfactor" span. Callers memoizing factors only reach
+// it on a miss, so each span marks a genuinely new (stack, n) solve.
+func SolveTierFactorCtx(ctx context.Context, t Tier) (TierFactor, error) {
+	_, sp := trace.Start(ctx, "availability.tierfactor",
+		trace.Attr{Key: "n", Value: t.N})
+	f, err := SolveTierFactor(t)
+	sp.EndErr(err)
+	return f, err
+}

@@ -15,12 +15,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"redpatch/internal/paperdata"
 	"redpatch/internal/redundancy"
+	"redpatch/internal/trace"
 	"redpatch/internal/workpool"
 )
 
@@ -30,6 +32,14 @@ import (
 // blocking fakes. Implementations must be safe for concurrent use.
 type DesignEvaluator interface {
 	EvaluateSpec(paperdata.DesignSpec) (redundancy.Result, error)
+}
+
+// ContextEvaluator is the optional DesignEvaluator extension that
+// accepts the caller's context, so solver-layer spans join the request
+// trace. *redundancy.Evaluator implements it; evaluators that do not are
+// called through plain EvaluateSpec and simply record no solver spans.
+type ContextEvaluator interface {
+	EvaluateSpecContext(context.Context, paperdata.DesignSpec) (redundancy.Result, error)
 }
 
 // Options configures an Engine.
@@ -158,6 +168,33 @@ func (g *Engine) Evaluate(d paperdata.Design) (redundancy.Result, error) {
 // solve. The returned result carries the requested spec (name included)
 // even on a cache hit.
 func (g *Engine) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, error) {
+	return g.EvaluateSpecCtx(context.Background(), spec)
+}
+
+// EvaluateSpecCtx is EvaluateSpec with the caller's context threaded
+// through for tracing. When the context carries a tracer, the call
+// records an "engine.evaluate" span whose cache attribute distinguishes
+// a miss (this call solved), a hit (the memo had a completed entry) and
+// an inflight join (a concurrent solve of the same design was in
+// progress and this call waited for it). The context does not cancel an
+// in-flight solve — a result being computed belongs to every caller
+// deduplicated onto it, so the first caller's cancellation must not
+// poison the shared entry.
+func (g *Engine) EvaluateSpecCtx(ctx context.Context, spec paperdata.DesignSpec) (redundancy.Result, error) {
+	return g.evaluateSpecTraced(ctx, spec,
+		trace.Attr{Key: "design", Value: spec.Name})
+}
+
+// evaluateSpecTraced opens the "engine.evaluate" span with the caller's
+// attributes — the sweep path adds per-design queue wait on top of the
+// design name.
+func (g *Engine) evaluateSpecTraced(ctx context.Context, spec paperdata.DesignSpec, attrs ...trace.Attr) (res redundancy.Result, err error) {
+	ctx, sp := trace.Start(ctx, "engine.evaluate", attrs...)
+	defer func() { sp.EndErr(err) }()
+	return g.evaluateSpec(ctx, sp, spec)
+}
+
+func (g *Engine) evaluateSpec(ctx context.Context, sp *trace.Span, spec paperdata.DesignSpec) (redundancy.Result, error) {
 	if err := spec.Validate(); err != nil {
 		return redundancy.Result{}, err
 	}
@@ -169,6 +206,7 @@ func (g *Engine) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, err
 		e = &entry{ready: make(chan struct{})}
 		g.cache[k] = e
 		g.mu.Unlock()
+		sp.SetAttr("cache", "miss")
 		g.solves.Add(1)
 		func() {
 			// The entry must reach a final state no matter how the
@@ -191,12 +229,22 @@ func (g *Engine) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, err
 				}
 				close(e.ready)
 			}()
-			e.res, e.err = g.eval.EvaluateSpec(spec)
+			if ce, ok := g.eval.(ContextEvaluator); ok {
+				e.res, e.err = ce.EvaluateSpecContext(ctx, spec)
+			} else {
+				e.res, e.err = g.eval.EvaluateSpec(spec)
+			}
 		}()
 	} else {
 		g.mu.Unlock()
 		g.hits.Add(1)
-		<-e.ready
+		select {
+		case <-e.ready:
+			sp.SetAttr("cache", "hit")
+		default:
+			sp.SetAttr("cache", "inflight")
+			<-e.ready
+		}
 	}
 
 	if e.err != nil {

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"redpatch/internal/paperdata"
 	"redpatch/internal/redundancy"
+	"redpatch/internal/trace"
 	"redpatch/internal/workpool"
 )
 
@@ -214,7 +216,7 @@ func (g *Engine) Sweep(ctx context.Context, spec SweepSpec) (SweepResult, error)
 		ks = append(ks, kept{idx, r})
 		front.insert(r)
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return SweepResult{}, err
 	}
@@ -238,7 +240,7 @@ func (g *Engine) SweepPareto(ctx context.Context, spec SweepSpec) (int, []redund
 	total, err := g.sweep(ctx, spec, func(_ int, r redundancy.Result) error {
 		front.insert(r)
 		return nil
-	})
+	}, nil)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -250,25 +252,45 @@ func (g *Engine) SweepPareto(ctx context.Context, spec SweepSpec) (int, []redund
 // single collector goroutine, so it needs no locking; returning an error
 // cancels the sweep. The total number of enumerated designs is returned.
 func (g *Engine) SweepFunc(ctx context.Context, spec SweepSpec, fn func(redundancy.Result) error) (int, error) {
-	return g.sweep(ctx, spec, func(_ int, r redundancy.Result) error { return fn(r) })
+	return g.sweep(ctx, spec, func(_ int, r redundancy.Result) error { return fn(r) }, nil)
+}
+
+// SweepFuncProgress is SweepFunc plus a progress callback: progress runs
+// on the collector goroutine after every completed evaluation — kept or
+// bound-filtered — with the number of designs done so far and the total.
+// Streaming surfaces (redpatchd's NDJSON sweep) derive their periodic
+// progress events from it. A nil progress makes this exactly SweepFunc.
+func (g *Engine) SweepFuncProgress(ctx context.Context, spec SweepSpec, fn func(redundancy.Result) error, progress func(done, total int)) (int, error) {
+	return g.sweep(ctx, spec, func(_ int, r redundancy.Result) error { return fn(r) }, progress)
 }
 
 // sweep is the shared fan-out/collect loop: pool workers evaluate
 // designs through the cache (workpool.Stream), the collector applies
 // bound filtering and hands passing results (with their enumeration
-// index) to emit.
-func (g *Engine) sweep(ctx context.Context, spec SweepSpec, emit func(int, redundancy.Result) error) (int, error) {
+// index) to emit. The whole sweep runs under an "engine.sweep" span;
+// each design's evaluate span carries its queue wait — the time from
+// sweep start until a pool worker picked the design up, the backlog
+// signal admission control will shed against.
+func (g *Engine) sweep(ctx context.Context, spec SweepSpec, emit func(int, redundancy.Result) error, progress func(done, total int)) (total int, err error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
 	designs := spec.Designs()
+	ctx, sp := trace.Start(ctx, "engine.sweep",
+		trace.Attr{Key: "designs", Value: len(designs)})
+	defer func() { sp.EndErr(err) }()
+	start := time.Now()
+	done := 0
 	var firstErr error
 	workpool.Stream(g.workers, designs,
 		func(_ int, d paperdata.DesignSpec) (redundancy.Result, error) {
 			if err := ctx.Err(); err != nil {
 				return redundancy.Result{}, err
 			}
-			r, err := g.EvaluateSpec(d)
+			wait := time.Since(start)
+			r, err := g.evaluateSpecTraced(ctx, d,
+				trace.Attr{Key: "design", Value: d.Name},
+				trace.Attr{Key: "queue_wait_ns", Value: wait.Nanoseconds()})
 			if err != nil {
 				err = fmt.Errorf("engine: design %s: %w", d, err)
 			}
@@ -278,6 +300,10 @@ func (g *Engine) sweep(ctx context.Context, spec SweepSpec, emit func(int, redun
 			if err != nil {
 				firstErr = err
 				return false
+			}
+			done++
+			if progress != nil {
+				progress(done, len(designs))
 			}
 			if spec.keeps(r) {
 				if err := emit(idx, r); err != nil {

@@ -1,0 +1,22 @@
+package harm
+
+import (
+	"context"
+
+	"redpatch/internal/trace"
+)
+
+// EvaluateCtx is (*HARM).Evaluate under a "harm.expanded.evaluate"
+// span: identical semantics, but the full replica-expanded enumeration
+// — the cross-validation oracle, never the sweep hot path — shows up
+// in a request trace attributed to the right model. The factored
+// (quotient) evaluator deliberately has no traced variant: a factored
+// evaluation is closed-form arithmetic, and its provenance is recorded
+// as attributes on the caller's span instead.
+func (h *HARM) EvaluateCtx(ctx context.Context, opts EvalOptions) (Metrics, error) {
+	_, sp := trace.Start(ctx, "harm.expanded.evaluate",
+		trace.Attr{Key: "hosts", Value: len(h.lower)})
+	m, err := h.Evaluate(opts)
+	sp.EndErr(err)
+	return m, err
+}

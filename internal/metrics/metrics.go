@@ -34,6 +34,23 @@ import (
 // conventional Prometheus spread from 5ms to 10s.
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
+// ExpBuckets returns count exponentially spaced bucket bounds starting
+// at start and multiplying by factor — the spread for durations DefBuckets
+// is too coarse for, like microsecond-scale factored solves. start must
+// be positive and factor above 1.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("metrics: ExpBuckets(%g, %g, %d): need start > 0, factor > 1, count >= 1", start, factor, count))
+	}
+	out := make([]float64, count)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
 var (
 	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)

@@ -268,3 +268,37 @@ func TestConcurrentObservation(t *testing.T) {
 		t.Fatalf("final exposition:\n%s", out)
 	}
 }
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets returned %d bounds, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > want[i]*1e-12 {
+			t.Fatalf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+	// The bounds must satisfy the histogram registration invariant.
+	r := NewRegistry()
+	h := r.NewHistogram("solve_seconds", "solver time", ExpBuckets(1e-6, 4, 12))
+	h.Observe(3e-5)
+	if out := render(t, r); !strings.Contains(out, "solve_seconds_count 1") {
+		t.Fatalf("exposition:\n%s", out)
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 10, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid ExpBuckets args should panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

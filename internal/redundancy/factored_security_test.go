@@ -1,6 +1,7 @@
 package redundancy
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"redpatch/internal/mathx"
 	"redpatch/internal/paperdata"
 	"redpatch/internal/patch"
+	"redpatch/internal/trace"
 )
 
 // assertMetricsEqual compares the factored and expanded security metrics
@@ -97,6 +99,10 @@ func equivalenceSpecs() []paperdata.DesignSpec {
 func TestFactoredSecurityEquivalence(t *testing.T) {
 	critical := patch.CriticalPolicy()
 	all := patch.Policy{PatchAll: true}
+	// Both parallel subtests evaluate under one shared tracer, so the
+	// race detector also covers concurrent span recording on the solver
+	// path — the configuration redpatchd runs in.
+	ctx := trace.WithTracer(context.Background(), trace.New(trace.Options{}))
 	for _, pc := range []struct {
 		name   string
 		policy patch.Policy
@@ -112,11 +118,11 @@ func TestFactoredSecurityEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, spec := range equivalenceSpecs() {
-				facBefore, facAfter, err := ev.securityFor(spec)
+				facBefore, facAfter, err := ev.securityFor(ctx, spec)
 				if err != nil {
 					t.Fatalf("%s: factored: %v", spec.Name, err)
 				}
-				expBefore, expAfter, err := ev.securityExpanded(spec)
+				expBefore, expAfter, err := ev.securityExpanded(ctx, spec)
 				if err != nil {
 					t.Fatalf("%s: expanded: %v", spec.Name, err)
 				}

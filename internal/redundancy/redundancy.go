@@ -7,6 +7,7 @@
 package redundancy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"redpatch/internal/harm"
 	"redpatch/internal/paperdata"
 	"redpatch/internal/patch"
+	"redpatch/internal/trace"
 	"redpatch/internal/vulndb"
 	"redpatch/internal/workpool"
 )
@@ -288,40 +290,91 @@ func (e *Evaluator) networkModelFor(spec paperdata.DesignSpec) (availability.Net
 // tier solve per distinct (stack, n) pair — O(R*k) — rather than one
 // network solve per point. The solve is O(n) and runs under the mutex,
 // so concurrent misses for one key never duplicate it and the TierSolves
-// counter is an exact distinct-pair count.
-func (e *Evaluator) tierFactorFor(stack string, tier availability.Tier) (availability.TierFactor, error) {
+// counter is an exact distinct-pair count. The hit return reports
+// whether the memo served the factor; the context carries tracing only.
+func (e *Evaluator) tierFactorFor(ctx context.Context, stack string, tier availability.Tier) (availability.TierFactor, bool, error) {
 	k := factorKey{stack: stack, n: tier.N}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if f, ok := e.factors[k]; ok {
 		e.tierFactorHits.Add(1)
-		return f, nil
+		return f, true, nil
 	}
-	f, err := availability.SolveTierFactor(tier)
+	f, err := availability.SolveTierFactorCtx(ctx, tier)
 	if err != nil {
-		return availability.TierFactor{}, err
+		return availability.TierFactor{}, false, err
 	}
 	e.tierSolves.Add(1)
 	e.factors[k] = f
-	return f, nil
+	return f, false, nil
 }
 
 // solveNetwork dispatches one spec's availability solve: PerServer
 // models (every model this evaluator builds) go through the memoized
-// factored path, anything else falls back to the generated SRN.
-func (e *Evaluator) solveNetwork(nm availability.NetworkModel, stacks []string) (availability.NetworkSolution, error) {
-	if nm.Recovery != 0 && nm.Recovery != availability.PerServer {
-		e.srnSolves.Add(1)
-		return availability.SolveNetworkSRN(nm)
+// factored path, anything else falls back to the generated SRN. When
+// every tier factor is already memoized the solve is closed-form
+// arithmetic, so it is recorded as attributes on the caller's span
+// rather than a span of its own — a memo-warm sweep stays nearly
+// span-free. Any real solve work gets an "availability.solve" span
+// recording which solver answered and how many tier factors came from
+// the memo versus fresh solves.
+func (e *Evaluator) solveNetwork(ctx context.Context, nm availability.NetworkModel, stacks []string) (availability.NetworkSolution, error) {
+	if nm.Recovery == 0 || nm.Recovery == availability.PerServer {
+		if factors, ok := e.memoizedFactors(nm, stacks); ok {
+			// One attribute suffices: on this path every tier factor was
+			// a memo hit by definition.
+			trace.FromContext(ctx).SetAttr("availability_solver", "factored")
+			e.factoredSolves.Add(1)
+			return availability.ComposeNetwork(nm, factors)
+		}
 	}
+	ctx, sp := trace.Start(ctx, "availability.solve",
+		trace.Attr{Key: "tiers", Value: len(nm.Tiers)})
+	sol, err := e.solveNetworkSpanned(ctx, sp, nm, stacks)
+	sp.EndErr(err)
+	return sol, err
+}
+
+// memoizedFactors returns the spec's tier factors when every (stack, n)
+// pair is already memoized, counting the hits; one miss returns false
+// with nothing counted, and the caller takes the spanned solve path
+// (where tierFactorFor counts hits and misses individually).
+func (e *Evaluator) memoizedFactors(nm availability.NetworkModel, stacks []string) ([]availability.TierFactor, bool) {
 	factors := make([]availability.TierFactor, len(nm.Tiers))
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for i, t := range nm.Tiers {
-		f, err := e.tierFactorFor(stacks[i], t)
-		if err != nil {
-			return availability.NetworkSolution{}, err
+		f, ok := e.factors[factorKey{stack: stacks[i], n: t.N}]
+		if !ok {
+			return nil, false
 		}
 		factors[i] = f
 	}
+	e.tierFactorHits.Add(uint64(len(nm.Tiers)))
+	return factors, true
+}
+
+func (e *Evaluator) solveNetworkSpanned(ctx context.Context, sp *trace.Span, nm availability.NetworkModel, stacks []string) (availability.NetworkSolution, error) {
+	if nm.Recovery != 0 && nm.Recovery != availability.PerServer {
+		sp.SetAttr("solver", "srn")
+		e.srnSolves.Add(1)
+		return availability.SolveNetworkSRNCtx(ctx, nm)
+	}
+	sp.SetAttr("solver", "factored")
+	factors := make([]availability.TierFactor, len(nm.Tiers))
+	hits := 0
+	for i, t := range nm.Tiers {
+		f, hit, err := e.tierFactorFor(ctx, stacks[i], t)
+		if err != nil {
+			return availability.NetworkSolution{}, err
+		}
+		if hit {
+			hits++
+		}
+		factors[i] = f
+	}
+	sp.SetAttr("tier_memo_hits", hits)
+	sp.SetAttr("tier_solves", len(nm.Tiers)-hits)
 	e.factoredSolves.Add(1)
 	return availability.ComposeNetwork(nm, factors)
 }
@@ -353,14 +406,35 @@ func (e *Evaluator) keepLeaf(_ string, l *attacktree.Leaf) bool {
 // the mutex (it is microseconds of work on a replica-independent graph),
 // so concurrent misses for one structure never duplicate it and
 // SecuritySolves counts distinct structures exactly.
-func (e *Evaluator) securityFactorFor(quotient paperdata.DesignSpec, structure string) (*securityFactor, error) {
+// The hit return reports whether the memo served the factor; a miss —
+// the one place real security model-building happens — runs under a
+// "security.evaluate" span, while hits stay span-free (the caller
+// records provenance attributes instead).
+func (e *Evaluator) securityFactorFor(ctx context.Context, quotient paperdata.DesignSpec, structure string) (*securityFactor, bool, error) {
 	k := securityKey{structure: structure, policy: e.policyFingerprint()}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if f, ok := e.security[k]; ok {
 		e.securityHits.Add(1)
-		return f, nil
+		return f, true, nil
 	}
+	_, sp := trace.Start(ctx, "security.evaluate",
+		trace.Attr{Key: "solver", Value: "quotient"},
+		trace.Attr{Key: "memo", Value: "miss"})
+	f, err := e.buildSecurityFactor(quotient)
+	sp.EndErr(err)
+	if err != nil {
+		return nil, false, err
+	}
+	e.securitySolves.Add(1)
+	e.security[k] = f
+	return f, false, nil
+}
+
+// buildSecurityFactor builds the replica-independent factored security
+// model of one quotient structure: the quotient topology, its HARM, and
+// the patched transformation.
+func (e *Evaluator) buildSecurityFactor(quotient paperdata.DesignSpec) (*securityFactor, error) {
 	top, err := paperdata.SpecTopology(quotient)
 	if err != nil {
 		return nil, err
@@ -377,25 +451,32 @@ func (e *Evaluator) securityFactorFor(quotient paperdata.DesignSpec, structure s
 	if err != nil {
 		return nil, err
 	}
-	f := &securityFactor{before: before, after: after}
-	e.securitySolves.Add(1)
-	e.security[k] = f
-	return f, nil
+	return &securityFactor{before: before, after: after}, nil
 }
 
 // securityFor evaluates both sides of the patch round for one spec via
 // the factored path: the quotient model is fetched (or built) once per
 // variant structure, and the spec's replica counts enter the metrics in
-// closed form. The expanded-topology evaluation (securityExpanded)
-// remains as the cross-validation oracle.
-func (e *Evaluator) securityFor(spec paperdata.DesignSpec) (before, after harm.Metrics, err error) {
+// closed form. A memo hit is pure closed-form arithmetic, so it records
+// provenance attributes on the caller's span instead of opening one of
+// its own; only a miss — a genuine model build inside securityFactorFor
+// — gets a "security.evaluate" span. The expanded-topology evaluation
+// (securityExpanded) remains as the cross-validation oracle.
+func (e *Evaluator) securityFor(ctx context.Context, spec paperdata.DesignSpec) (before, after harm.Metrics, err error) {
 	quotient, mult, structure, err := paperdata.SpecQuotient(spec)
 	if err != nil {
 		return harm.Metrics{}, harm.Metrics{}, err
 	}
-	f, err := e.securityFactorFor(quotient, structure)
+	f, hit, err := e.securityFactorFor(ctx, quotient, structure)
 	if err != nil {
 		return harm.Metrics{}, harm.Metrics{}, err
+	}
+	parent := trace.FromContext(ctx)
+	parent.SetAttr("security_solver", "quotient")
+	if hit {
+		parent.SetAttr("security_memo", "hit")
+	} else {
+		parent.SetAttr("security_memo", "miss")
 	}
 	e.securityFactored.Add(1)
 	if before, err = f.before.Evaluate(mult, e.evalOpts); err != nil {
@@ -410,19 +491,22 @@ func (e *Evaluator) securityFor(spec paperdata.DesignSpec) (before, after harm.M
 // securityExpanded evaluates the security metrics on the full
 // replica-expanded HARM — the original pipeline, kept as the oracle the
 // factored path is cross-validated against (TestFactoredSecurityEquivalence).
-func (e *Evaluator) securityExpanded(spec paperdata.DesignSpec) (before, after harm.Metrics, err error) {
+// Unlike the factored path, every oracle evaluation enumerates the
+// expanded model, so both rounds run under "harm.expanded.evaluate"
+// spans — in a trace, oracle time is unmistakable.
+func (e *Evaluator) securityExpanded(ctx context.Context, spec paperdata.DesignSpec) (before, after harm.Metrics, err error) {
 	h, err := e.buildHARM(spec)
 	if err != nil {
 		return harm.Metrics{}, harm.Metrics{}, err
 	}
-	if before, err = h.Evaluate(e.evalOpts); err != nil {
+	if before, err = h.EvaluateCtx(ctx, e.evalOpts); err != nil {
 		return harm.Metrics{}, harm.Metrics{}, err
 	}
 	patched, err := h.Patched(e.keepLeaf)
 	if err != nil {
 		return harm.Metrics{}, harm.Metrics{}, err
 	}
-	if after, err = patched.Evaluate(e.evalOpts); err != nil {
+	if after, err = patched.EvaluateCtx(ctx, e.evalOpts); err != nil {
 		return harm.Metrics{}, harm.Metrics{}, err
 	}
 	return before, after, nil
@@ -473,12 +557,23 @@ func (e *Evaluator) SolverStats() SolverStats {
 // the metrics in closed form, so sweeps never rebuild or re-enumerate the
 // replica-expanded model.
 func (e *Evaluator) EvaluateSpec(spec paperdata.DesignSpec) (Result, error) {
+	return e.EvaluateSpecContext(context.Background(), spec)
+}
+
+// EvaluateSpecContext is EvaluateSpec with the caller's context threaded
+// through for tracing: when the context carries a tracer, the security
+// and availability solves record spans naming which solver ran, which
+// memos hit, and how long each step took. The context is used for
+// observability only — an evaluation never aborts mid-solve on
+// cancellation, so a result computed for one caller stays valid for
+// every concurrent caller deduplicated onto it.
+func (e *Evaluator) EvaluateSpecContext(ctx context.Context, spec paperdata.DesignSpec) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
 	res := Result{Spec: spec}
 	var err error
-	if res.Before, res.After, err = e.securityFor(spec); err != nil {
+	if res.Before, res.After, err = e.securityFor(ctx, spec); err != nil {
 		return Result{}, err
 	}
 
@@ -486,7 +581,7 @@ func (e *Evaluator) EvaluateSpec(spec paperdata.DesignSpec) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sol, err := e.solveNetwork(nm, stacks)
+	sol, err := e.solveNetwork(ctx, nm, stacks)
 	if err != nil {
 		return Result{}, err
 	}

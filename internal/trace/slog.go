@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogHandler wraps a slog.Handler and stamps trace_id / span_id onto
+// every record whose context carries a live span, so daemon logs and
+// /debug/traces dumps join on the same IDs.
+type LogHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps h.
+func NewLogHandler(h slog.Handler) *LogHandler { return &LogHandler{inner: h} }
+
+func (h *LogHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *LogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if s := FromContext(ctx); s != nil {
+		r.AddAttrs(
+			slog.String("trace_id", s.TraceID()),
+			slog.String("span_id", s.SpanID()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *LogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &LogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *LogHandler) WithGroup(name string) slog.Handler {
+	return &LogHandler{inner: h.inner.WithGroup(name)}
+}

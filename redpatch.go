@@ -252,11 +252,22 @@ func NewCaseStudyWithConfig(cfg Config) (*CaseStudy, error) {
 // same spec identity (tier order, roles, variants, replica counts) are
 // served from the engine cache regardless of name.
 func (s *CaseStudy) EvaluateSpec(spec DesignSpec) (DesignReport, error) {
+	return s.EvaluateSpecCtx(context.Background(), spec)
+}
+
+// EvaluateSpecCtx is EvaluateSpec with the caller's context threaded
+// through for tracing (internal/trace): when the context carries a
+// tracer, the evaluation records engine and solver spans — cache
+// hit/miss, which availability and security solver ran, memo hits and
+// per-step durations — under the context's current span. The context
+// never cancels a solve in flight; results stay shared across
+// deduplicated callers.
+func (s *CaseStudy) EvaluateSpecCtx(ctx context.Context, spec DesignSpec) (DesignReport, error) {
 	p := spec.pd()
 	if spec.Name == "" {
 		p.Name = p.CanonicalName()
 	}
-	r, err := s.eng.EvaluateSpec(p)
+	r, err := s.eng.EvaluateSpecCtx(ctx, p)
 	if err != nil {
 		return DesignReport{}, err
 	}
@@ -737,6 +748,17 @@ func (s *CaseStudy) SweepSpecEach(ctx context.Context, req SpecSweepRequest, fn 
 	return s.eng.SweepFunc(ctx, req.spec(), func(r redundancy.Result) error {
 		return fn(convert(r))
 	})
+}
+
+// SweepSpecEachProgress is SweepSpecEach plus a progress callback:
+// progress runs on the collector goroutine after every completed
+// evaluation — kept or bound-filtered — with the count of designs done
+// so far and the total. redpatchd's NDJSON sweep stream derives its
+// periodic progress events (done/total, cache-hit ratio, ETA) from it.
+func (s *CaseStudy) SweepSpecEachProgress(ctx context.Context, req SpecSweepRequest, fn func(DesignReport) error, progress func(done, total int)) (int, error) {
+	return s.eng.SweepFuncProgress(ctx, req.spec(), func(r redundancy.Result) error {
+		return fn(convert(r))
+	}, progress)
 }
 
 // Sweep evaluates a classic design space.
