@@ -18,6 +18,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"redpatch/internal/fleet"
 )
 
 // cacheStore owns the cache directory. Scenario names are pre-validated
@@ -35,6 +37,10 @@ type cacheStore struct {
 
 	mu     sync.Mutex
 	dumped map[string]int // cache size at the last load/dump per scenario
+	// fleetRev is the fleet registry revision at the last load/dump;
+	// zero means "empty registry persisted", so a never-touched fleet
+	// writes no file.
+	fleetRev uint64
 }
 
 func newCacheStore(dir string, m *serverMetrics, logger *slog.Logger) (*cacheStore, error) {
@@ -139,8 +145,80 @@ func (cs *cacheStore) dump(sc *scenario) {
 	cs.log.Info("cache: dumped designs", "scenario", sc.name, "designs", n, "path", cs.path(sc.name))
 }
 
-// dumpCaches dumps every registered scenario; redpatchd calls it on
-// graceful shutdown and from the periodic flush loop.
+// fleetPath is the fleet registry's dump file. Scenario dumps end in
+// ".cache.json", so a scenario named "fleet" cannot collide with it.
+func (cs *cacheStore) fleetPath() string {
+	return filepath.Join(cs.dir, "fleet.json")
+}
+
+// loadFleet restores the persisted fleet registry if a dump exists.
+// Failures are logged and leave the fleet empty — re-registering is
+// always safe.
+func (cs *cacheStore) loadFleet(reg *fleet.Registry) {
+	data, err := os.ReadFile(cs.fleetPath())
+	if os.IsNotExist(err) {
+		return
+	}
+	if err != nil {
+		cs.log.Error("cache: reading fleet dump failed", "error", err)
+		return
+	}
+	n, err := reg.Restore(data)
+	if err != nil {
+		cs.log.Error("cache: rejecting fleet dump", "path", cs.fleetPath(), "error", err)
+		return
+	}
+	cs.mu.Lock()
+	cs.fleetRev = reg.Rev()
+	cs.mu.Unlock()
+	cs.log.Info("cache: restored fleet", "systems", n, "path", cs.fleetPath())
+}
+
+// dumpFleet writes the fleet registry atomically (temp file + rename),
+// skipping the write when the registry has not changed since the last
+// load or dump.
+func (cs *cacheStore) dumpFleet(reg *fleet.Registry) {
+	cs.dumpMu.Lock()
+	defer cs.dumpMu.Unlock()
+	rev := reg.Rev()
+	cs.mu.Lock()
+	clean := cs.fleetRev == rev
+	cs.mu.Unlock()
+	if clean {
+		return
+	}
+	data, err := reg.Snapshot()
+	if err != nil {
+		cs.log.Error("cache: fleet snapshot failed", "error", err)
+		return
+	}
+	tmp, err := os.CreateTemp(cs.dir, "fleet.*.tmp")
+	if err != nil {
+		cs.log.Error("cache: flush failed creating fleet temp dump", "error", err)
+		return
+	}
+	if _, err = tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), cs.fleetPath())
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		cs.log.Error("cache: flush failed writing fleet dump", "error", err)
+		return
+	}
+	cs.mu.Lock()
+	cs.fleetRev = rev
+	cs.mu.Unlock()
+	cs.log.Info("cache: dumped fleet", "path", cs.fleetPath())
+}
+
+// dumpCaches dumps every registered scenario and the fleet registry;
+// redpatchd calls it on graceful shutdown and from the periodic flush
+// loop.
 func (s *server) dumpCaches() {
 	if s.store == nil {
 		return
@@ -148,6 +226,7 @@ func (s *server) dumpCaches() {
 	for _, sc := range s.reg.list() {
 		s.store.dump(sc)
 	}
+	s.store.dumpFleet(s.fleetReg)
 }
 
 // flushLoop periodically dumps dirty scenario caches until the context

@@ -1,0 +1,275 @@
+package main
+
+// The /api/v2/fleet surface: a registry of modeled systems (scenario +
+// design + priority + compliance deadline), fleet-wide campaign
+// planning on the memoized engines, and a deterministic campaign
+// simulation with try-revert rollback streamed as NDJSON. The registry
+// persists alongside the scenario caches (see cache.go), so a restarted
+// daemon keeps its fleet.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"redpatch"
+
+	"redpatch/internal/fleet"
+)
+
+// fleetResolver adapts the scenario registry to the fleet scheduler:
+// each system names a scenario, whose case study answers design
+// evaluations from its own memo cache.
+func (s *server) fleetResolver() fleet.Resolver {
+	return func(name string) (fleet.Engine, error) {
+		sc, err := s.reg.get(name)
+		if err != nil {
+			return nil, err
+		}
+		return sc.study.FleetEngine(), nil
+	}
+}
+
+// checkSystem bounds one fleet system with the same caps as a direct
+// evaluation request: an unbounded design registered once would be
+// solved on every plan.
+func (s *server) checkSystem(sys fleet.System) error {
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	if _, err := s.reg.get(sys.Scenario); err != nil {
+		return err
+	}
+	spec := redpatch.DesignSpec{Tiers: make([]redpatch.TierSpec, len(sys.Tiers))}
+	for i, t := range sys.Tiers {
+		spec.Tiers[i] = redpatch.TierSpec{Role: t.Role, Replicas: t.Replicas, Variant: t.Variant}
+	}
+	if err := s.checkSpec(spec); err != nil {
+		return fmt.Errorf("system %q: %w", sys.ID, err)
+	}
+	return nil
+}
+
+type fleetRegisterRequest struct {
+	Systems []fleet.System `json:"systems"`
+}
+
+func (s *server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
+	var req fleetRegisterRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Systems) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no systems to register"))
+		return
+	}
+	// Validate the whole batch before touching the registry: a rejected
+	// request must not half-register.
+	for _, sys := range req.Systems {
+		if err := s.checkSystem(sys); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	// The fleet shares the sweep-space cap: every registered system is a
+	// design the scheduler may evaluate per plan request.
+	fresh := 0
+	for _, sys := range req.Systems {
+		if _, ok := s.fleetReg.Get(sys.ID); !ok {
+			fresh++
+		}
+	}
+	if s.fleetReg.Len()+fresh > s.maxDesigns {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("fleet would hold %d systems, above the %d cap", s.fleetReg.Len()+fresh, s.maxDesigns))
+		return
+	}
+	for _, sys := range req.Systems {
+		if err := s.fleetReg.Register(sys); err != nil {
+			// Validated above; a failure here is a server fault.
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"registered": len(req.Systems),
+		"fleet":      s.fleetReg.Len(),
+	})
+}
+
+func (s *server) handleFleetSystems(w http.ResponseWriter, r *http.Request) {
+	systems := s.fleetReg.List()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(systems),
+		"systems": systems,
+	})
+}
+
+func (s *server) handleFleetSystemDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.fleetReg.Remove(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown system %q", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// fleetPlanRequest selects and paces a fleet campaign. Empty systemIds
+// plans the whole registered fleet.
+type fleetPlanRequest struct {
+	SystemIDs     []string `json:"systemIds,omitempty"`
+	MaxConcurrent int      `json:"maxConcurrent,omitempty"`
+	CycleHours    float64  `json:"cycleHours,omitempty"`
+}
+
+// selectSystems resolves a plan request's system set against the
+// registry.
+func (s *server) selectSystems(ids []string) ([]fleet.System, error) {
+	if len(ids) == 0 {
+		systems := s.fleetReg.List()
+		if len(systems) == 0 {
+			return nil, errors.New("no systems registered")
+		}
+		return systems, nil
+	}
+	systems := make([]fleet.System, len(ids))
+	for i, id := range ids {
+		sys, ok := s.fleetReg.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown system %q", id)
+		}
+		systems[i] = sys
+	}
+	return systems, nil
+}
+
+func (req fleetPlanRequest) validate() error {
+	if req.MaxConcurrent < 0 {
+		return errors.New("maxConcurrent must be non-negative")
+	}
+	if req.CycleHours < 0 {
+		return errors.New("cycleHours must be non-negative")
+	}
+	return nil
+}
+
+func (req fleetPlanRequest) options() fleet.PlanOptions {
+	return fleet.PlanOptions{MaxConcurrent: req.MaxConcurrent, CycleHours: req.CycleHours}
+}
+
+// planFleet runs the scheduler for a request and records the planning
+// metrics; both the plan endpoint and the simulate stream start here.
+func (s *server) planFleet(r *http.Request, req fleetPlanRequest) (fleet.Plan, error) {
+	systems, err := s.selectSystems(req.SystemIDs)
+	if err != nil {
+		return fleet.Plan{}, err
+	}
+	plan, err := fleet.PlanFleet(r.Context(), systems, s.fleetResolver(), req.options())
+	if err != nil {
+		return fleet.Plan{}, err
+	}
+	m := s.metrics
+	m.fleetPlans.Inc()
+	m.fleetWindowsPlanned.Add(float64(len(plan.Windows)))
+	m.fleetDeadlineAtRisk.Set(float64(len(plan.DeadlineAtRisk)))
+	return plan, nil
+}
+
+func (s *server) handleFleetPlan(w http.ResponseWriter, r *http.Request) {
+	var req fleetPlanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := s.planFleet(r, req)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			// Selection and validation faults are the client's.
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"plan": plan})
+}
+
+type fleetSimulateRequest struct {
+	fleetPlanRequest
+	Seed        int64 `json:"seed,omitempty"`
+	MaxAttempts int   `json:"maxAttempts,omitempty"`
+}
+
+// handleFleetSimulate plans the requested fleet campaign, then executes
+// it under the try-revert model and streams the execution as NDJSON:
+// one {"plan":true,...} header, one event object per maintenance window
+// in execution order (flushed as produced, rollbacks and re-queued CVEs
+// included), then a {"done":true,"summary":...} trailer. Client
+// disconnects cancel the simulation through the request context; errors
+// after the first byte surface as an {"error":...} line.
+func (s *server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
+	var req fleetSimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MaxAttempts < 0 || req.MaxAttempts > 100 {
+		writeError(w, http.StatusBadRequest, errors.New("maxAttempts must be in [0, 100]"))
+		return
+	}
+	plan, err := s.planFleet(r, req.fleetPlanRequest)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not batch the stream
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // compact: one JSON object per line
+	_ = enc.Encode(map[string]any{
+		"plan":           true,
+		"systems":        len(plan.Systems),
+		"windows":        len(plan.Windows),
+		"cycles":         plan.Cycles,
+		"deadlineAtRisk": plan.DeadlineAtRisk,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.metrics.fleetSimulations.Inc()
+	opts := fleet.SimOptions{
+		Seed:          req.Seed,
+		MaxConcurrent: req.MaxConcurrent,
+		CycleHours:    req.CycleHours,
+		MaxAttempts:   req.MaxAttempts,
+	}
+	sum, err := fleet.Simulate(r.Context(), plan, opts, func(ev fleet.Event) error {
+		s.metrics.fleetWindowsExecuted.With(ev.Outcome.String()).Inc()
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = enc.Encode(map[string]any{"done": true, "summary": sum})
+}

@@ -31,10 +31,19 @@
 //	POST   /api/v2/rank-patches     policy-aware single-patch ranking
 //	POST   /api/v2/plan-campaign    maintenance-window campaign planning
 //
+//	POST   /api/v2/fleet/register     register modeled systems in the fleet
+//	GET    /api/v2/fleet/systems      list the registered fleet
+//	DELETE /api/v2/fleet/systems/{id} remove one system
+//	POST   /api/v2/fleet/plan         schedule a fleet-wide patch campaign
+//	POST   /api/v2/fleet/simulate     execute the plan under try-revert
+//	                                  rollback, streamed as NDJSON events
+//
 // With -cache-dir the daemon persists every scenario's engine memo
 // cache to <dir>/<scenario>.cache.json — on graceful shutdown and every
 // -cache-flush interval while dirty — and restores it on startup and on
-// scenario registration, so restarts keep the warmed cache. Dumps are
+// scenario registration, so restarts keep the warmed cache; the fleet
+// registry rides along as <dir>/fleet.json, so a restarted daemon also
+// keeps its registered systems. Dumps are
 // fingerprinted by the vulnerability dataset, patch policy and
 // schedule; a file written under different inputs is rejected with a
 // logged reason, never merged.
@@ -72,6 +81,7 @@ import (
 
 	"redpatch"
 
+	"redpatch/internal/fleet"
 	"redpatch/internal/paperdata"
 	"redpatch/internal/trace"
 )
@@ -207,6 +217,7 @@ type serverConfig struct {
 type server struct {
 	study         *redpatch.CaseStudy
 	reg           *registry
+	fleetReg      *fleet.Registry
 	metrics       *serverMetrics
 	tracer        *trace.Tracer
 	log           *slog.Logger
@@ -245,9 +256,10 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
 		}
 	}
 	s := &server{
-		study:   study,
-		reg:     newRegistry(study, cfg.defaultConfig, cfg.workers, cfg.maxScenarios, store),
-		metrics: m,
+		study:    study,
+		reg:      newRegistry(study, cfg.defaultConfig, cfg.workers, cfg.maxScenarios, store),
+		fleetReg: fleet.NewRegistry(),
+		metrics:  m,
 		// Tracing is always on: the ring is bounded, the disabled-path
 		// question is answered by the TraceOverhead benchmark, and the
 		// explain surface and histograms need the spans. Only the
@@ -271,6 +283,7 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
 		if sc, err := s.reg.get(defaultScenario); err == nil {
 			store.load(sc)
 		}
+		store.loadFleet(s.fleetReg)
 	}
 	return s, nil
 }
@@ -310,6 +323,11 @@ func (s *server) handler() http.Handler {
 	route("POST /api/v2/sweep/stream", s.handleSweepStream)
 	route("POST /api/v2/rank-patches", s.handleRankPatches)
 	route("POST /api/v2/plan-campaign", s.handlePlanCampaign)
+	route("POST /api/v2/fleet/register", s.handleFleetRegister)
+	route("GET /api/v2/fleet/systems", s.handleFleetSystems)
+	route("DELETE /api/v2/fleet/systems/{id}", s.handleFleetSystemDelete)
+	route("POST /api/v2/fleet/plan", s.handleFleetPlan)
+	route("POST /api/v2/fleet/simulate", s.handleFleetSimulate)
 	if s.pprof {
 		// Explicit registrations rather than the net/http/pprof side
 		// effect: the daemon never serves http.DefaultServeMux. No

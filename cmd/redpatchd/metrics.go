@@ -35,6 +35,12 @@ type serverMetrics struct {
 	cacheRestoreErrors   *metrics.Counter
 	cacheFlushes         *metrics.Counter
 	cacheFlushErrors     *metrics.Counter
+
+	fleetPlans           *metrics.Counter
+	fleetSimulations     *metrics.Counter
+	fleetWindowsPlanned  *metrics.Counter
+	fleetWindowsExecuted *metrics.CounterVec // outcome
+	fleetDeadlineAtRisk  *metrics.Gauge
 }
 
 func newServerMetrics() *serverMetrics {
@@ -64,6 +70,17 @@ func newServerMetrics() *serverMetrics {
 			"Cache dumps written to disk (periodic, on shutdown, or on scenario load)."),
 		cacheFlushErrors: reg.NewCounter("redpatchd_cache_flush_errors_total",
 			"Cache dumps that failed to write."),
+		fleetPlans: reg.NewCounter("redpatchd_fleet_plans_total",
+			"Fleet campaign plans computed (plan and simulate requests)."),
+		fleetSimulations: reg.NewCounter("redpatchd_fleet_simulations_total",
+			"Fleet campaign simulations streamed."),
+		fleetWindowsPlanned: reg.NewCounter("redpatchd_fleet_windows_planned_total",
+			"Maintenance windows scheduled across all fleet plans."),
+		fleetWindowsExecuted: reg.NewCounterVec("redpatchd_fleet_windows_executed_total",
+			"Simulated maintenance windows executed, by outcome (succeeded, rolledBack, or deferred for the rollback that exhausted a round's attempts).",
+			"outcome"),
+		fleetDeadlineAtRisk: reg.NewGauge("redpatchd_fleet_deadline_at_risk",
+			"Systems whose campaign misses their compliance deadline in the most recent fleet plan."),
 	}
 }
 
@@ -117,6 +134,9 @@ func (m *serverMetrics) registerCollectors(s *server) {
 	m.reg.NewGaugeVecFunc("redpatchd_engine_cache_entries",
 		"Completed designs in the memo cache.", []string{"scenario"},
 		perScenario(func(sc *scenario) float64 { return float64(sc.study.CacheEntries()) }))
+	m.reg.NewGaugeFunc("redpatchd_fleet_systems",
+		"Systems registered in the fleet.",
+		func() float64 { return float64(s.fleetReg.Len()) })
 	m.reg.NewGaugeFunc("redpatchd_scenarios",
 		"Registered scenarios, the default included.",
 		func() float64 { return float64(len(s.reg.list())) })

@@ -1,0 +1,190 @@
+package availability
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"redpatch/internal/srn"
+)
+
+// Rollback carries the try-revert parameters of a patch window at the
+// availability layer: the probability the window's patches all apply,
+// and how long the revert procedure takes when they do not. A success
+// probability of 1 recovers the paper's atomic-window model exactly.
+type Rollback struct {
+	// SuccessProb is the chance the window completes, in (0, 1].
+	SuccessProb float64
+	// Duration is the time the revert procedure adds to a failed window
+	// before the system reboots back into the unpatched image.
+	Duration time.Duration
+}
+
+// PerfectRollback returns the dormant rollback branch: every window
+// succeeds.
+func PerfectRollback() Rollback { return Rollback{SuccessProb: 1} }
+
+// Validate checks the rollback parameters.
+func (r Rollback) Validate() error {
+	if r.SuccessProb <= 0 || r.SuccessProb > 1 {
+		return fmt.Errorf("availability: rollback success probability %v outside (0, 1]", r.SuccessProb)
+	}
+	if r.Duration < 0 {
+		return fmt.Errorf("availability: negative rollback duration %v", r.Duration)
+	}
+	return nil
+}
+
+// failureParams is the failed-window view of a server's patch pipeline:
+// on average the failure strikes halfway through the patch work (half of
+// each patch stage is spent before the revert), the rollback procedure
+// extends the OS stage, and the system reboots back into the unpatched
+// image — the reboot costs are paid either way. This is a mean-value
+// approximation of the failure branch, consistent with
+// patch.Plan.FailedDowntime.
+func failureParams(p ServerParams, r Rollback) ServerParams {
+	fp := p
+	fp.SvcPatchTime = p.SvcPatchTime / 2
+	fp.OSPatchTime = p.OSPatchTime/2 + r.Duration
+	return fp
+}
+
+// PatchWindowTransientRollback computes the patch-window trajectory of a
+// server under the try-revert model: the pointwise mixture of the
+// success branch (the plain PatchWindowTransient) and the failure branch
+// (patch work cut short at its mean, rollback appended, reboots paid),
+// weighted by the rollback's success probability. With SuccessProb == 1
+// it short-circuits to PatchWindowTransient.
+func PatchWindowTransientRollback(p ServerParams, r Rollback, times []float64) ([]PatchWindowPoint, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if r.SuccessProb == 1 {
+		return PatchWindowTransient(p, times)
+	}
+	success, err := PatchWindowTransient(p, times)
+	if err != nil {
+		return nil, err
+	}
+	failure, err := PatchWindowTransient(failureParams(p, r), times)
+	if err != nil {
+		return nil, err
+	}
+	s := r.SuccessProb
+	out := make([]PatchWindowPoint, len(success))
+	for i := range success {
+		out[i] = PatchWindowPoint{
+			Hours:     success[i].Hours,
+			ServiceUp: s*success[i].ServiceUp + (1-s)*failure[i].ServiceUp,
+			PatchDown: s*success[i].PatchDown + (1-s)*failure[i].PatchDown,
+		}
+	}
+	return out, nil
+}
+
+// CampaignWindow is one maintenance window on a campaign timeline: the
+// hour it starts, the server parameters of that round (patch times from
+// the round's plan), and the round's rollback parameters.
+type CampaignWindow struct {
+	// StartHours is the window's start on the campaign clock.
+	StartHours float64
+	// Params is the server model for the round, its patch windows set
+	// from the round's plan.
+	Params ServerParams
+	// Rollback carries the round's try-revert parameters.
+	Rollback Rollback
+}
+
+// CampaignTransient traces a server's availability over a whole campaign
+// timeline: each sample time is answered by the most recently started
+// window's try-revert transient, evaluated at the offset into that
+// window; times before the first window report the nominal all-up state.
+// Windows must be given in ascending StartHours order. The mixture
+// treats windows independently — by the time the next window opens, the
+// previous round's pipeline has long drained (window minutes against a
+// cycle of weeks), the same scale separation the paper's steady-state
+// model relies on.
+func CampaignTransient(windows []CampaignWindow, times []float64) ([]PatchWindowPoint, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("availability: no sample times")
+	}
+	for i := 1; i < len(windows); i++ {
+		if windows[i].StartHours < windows[i-1].StartHours {
+			return nil, fmt.Errorf("availability: campaign windows out of order at %d", i)
+		}
+	}
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+
+	out := make([]PatchWindowPoint, 0, len(sorted))
+	// Group consecutive sample times by the window answering them, so
+	// each window's (expensive) transient solve runs once over all its
+	// offsets.
+	i := 0
+	for i < len(sorted) {
+		w := -1 // index of the most recently started window
+		for j := range windows {
+			if windows[j].StartHours <= sorted[i] {
+				w = j
+			} else {
+				break
+			}
+		}
+		j := i
+		for j < len(sorted) && (w+1 >= len(windows) || sorted[j] < windows[w+1].StartHours) {
+			j++
+		}
+		if w < 0 {
+			for _, t := range sorted[i:j] {
+				out = append(out, PatchWindowPoint{Hours: t, ServiceUp: 1})
+			}
+			i = j
+			continue
+		}
+		offsets := make([]float64, j-i)
+		for k, t := range sorted[i:j] {
+			offsets[k] = t - windows[w].StartHours
+		}
+		pts, err := PatchWindowTransientRollback(windows[w].Params, windows[w].Rollback, offsets)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range pts {
+			out = append(out, PatchWindowPoint{
+				Hours:     windows[w].StartHours + pt.Hours,
+				ServiceUp: pt.ServiceUp,
+				PatchDown: pt.PatchDown,
+			})
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// TransientCOAs returns the network's expected COA at each of the given
+// times, starting from the all-up state — the batched form of
+// TransientCOA: the SRN is generated once and only the transient reward
+// is re-evaluated per time point. Results follow the input order.
+func TransientCOAs(nm NetworkModel, times []float64) ([]float64, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("availability: no sample times")
+	}
+	net, ups, err := BuildNetworkSRN(nm)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := net.Generate(srn.GenerateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	reward := COAReward(nm, ups)
+	out := make([]float64, len(times))
+	for i, t := range times {
+		v, err := ss.TransientReward(reward, t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package availability
+
+import (
+	"testing"
+	"time"
+
+	"redpatch/internal/mathx"
+)
+
+func TestRollbackValidate(t *testing.T) {
+	if err := PerfectRollback().Validate(); err != nil {
+		t.Errorf("PerfectRollback invalid: %v", err)
+	}
+	for _, r := range []Rollback{
+		{SuccessProb: 0},
+		{SuccessProb: 1.5},
+		{SuccessProb: 0.9, Duration: -time.Minute},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Errorf("Rollback %+v should be invalid", r)
+		}
+	}
+}
+
+// TestPatchWindowTransientRollbackMixture cross-checks the mixture
+// against its two branch transients computed independently.
+func TestPatchWindowTransientRollbackMixture(t *testing.T) {
+	p := paperServerParams("dns")
+	r := Rollback{SuccessProb: 0.7, Duration: 12 * time.Minute}
+	times := []float64{0.1, 0.5, 1, 4}
+
+	got, err := PatchWindowTransientRollback(p, r, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	success, err := PatchWindowTransient(p, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failure, err := PatchWindowTransient(failureParams(p, r), times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		wantUp := 0.7*success[i].ServiceUp + 0.3*failure[i].ServiceUp
+		wantDown := 0.7*success[i].PatchDown + 0.3*failure[i].PatchDown
+		if !mathx.AlmostEqual(got[i].ServiceUp, wantUp, 1e-12) {
+			t.Errorf("ServiceUp[%d] = %v, want %v", i, got[i].ServiceUp, wantUp)
+		}
+		if !mathx.AlmostEqual(got[i].PatchDown, wantDown, 1e-12) {
+			t.Errorf("PatchDown[%d] = %v, want %v", i, got[i].PatchDown, wantDown)
+		}
+	}
+	// The failure branch halves the patch work but adds the rollback:
+	// early in the window the pipeline probability must still be high.
+	if failure[0].PatchDown < 0.5 {
+		t.Errorf("failure branch P(patching) at 6 min = %v, expected high", failure[0].PatchDown)
+	}
+}
+
+// TestPatchWindowTransientRollbackPerfect asserts the dormant branch:
+// SuccessProb 1 must be the plain transient, bit for bit.
+func TestPatchWindowTransientRollbackPerfect(t *testing.T) {
+	p := paperServerParams("web")
+	times := []float64{0.25, 1, 8}
+	got, err := PatchWindowTransientRollback(p, PerfectRollback(), times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PatchWindowTransient(p, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("point %d: %+v != plain %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := PatchWindowTransientRollback(p, Rollback{}, times); err == nil {
+		t.Error("invalid rollback should fail")
+	}
+}
+
+func TestCampaignTransient(t *testing.T) {
+	p := paperServerParams("dns")
+	r := Rollback{SuccessProb: 0.8, Duration: 10 * time.Minute}
+	windows := []CampaignWindow{
+		{StartHours: 10, Params: p, Rollback: r},
+		{StartHours: 730, Params: p, Rollback: r},
+	}
+	times := []float64{0, 5, 10.1, 14, 730.1, 734}
+	pts, err := CampaignTransient(windows, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(times) {
+		t.Fatalf("points = %d, want %d", len(pts), len(times))
+	}
+	// Before the first window: nominal all-up.
+	for i := 0; i < 2; i++ {
+		if pts[i].ServiceUp != 1 || pts[i].PatchDown != 0 {
+			t.Errorf("point %d (t=%v) = %+v, want all-up", i, pts[i].Hours, pts[i])
+		}
+	}
+	// Just inside each window the pipeline dominates; well after it the
+	// service has recovered.
+	ref, err := PatchWindowTransientRollback(p, r, []float64{0.1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []struct{ in, after int }{{2, 3}, {4, 5}} {
+		if !mathx.AlmostEqual(pts[w.in].ServiceUp, ref[0].ServiceUp, 1e-12) {
+			t.Errorf("point %d = %v, want window offset 0.1h value %v", w.in, pts[w.in].ServiceUp, ref[0].ServiceUp)
+		}
+		if !mathx.AlmostEqual(pts[w.after].ServiceUp, ref[1].ServiceUp, 1e-12) {
+			t.Errorf("point %d = %v, want window offset 4h value %v", w.after, pts[w.after].ServiceUp, ref[1].ServiceUp)
+		}
+	}
+
+	if _, err := CampaignTransient(windows, nil); err == nil {
+		t.Error("empty sample times should fail")
+	}
+	if _, err := CampaignTransient([]CampaignWindow{windows[1], windows[0]}, times); err == nil {
+		t.Error("out-of-order windows should fail")
+	}
+	// No windows at all: the whole timeline is nominal.
+	pts, err = CampaignTransient(nil, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.ServiceUp != 1 {
+			t.Errorf("windowless point %+v, want all-up", pt)
+		}
+	}
+}
+
+func TestTransientCOAs(t *testing.T) {
+	nm := paperTiers(t, baseCounts)
+	times := []float64{0, 720, 50000}
+	got, err := TransientCOAs(nm, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range times {
+		want, err := TransientCOA(nm, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mathx.AlmostEqual(got[i], want, 1e-12) {
+			t.Errorf("COA(%v) = %v, want %v", tt, got[i], want)
+		}
+	}
+	if _, err := TransientCOAs(nm, nil); err == nil {
+		t.Error("empty sample times should fail")
+	}
+}

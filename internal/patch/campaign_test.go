@@ -143,3 +143,57 @@ func TestResidualAfterRound(t *testing.T) {
 		t.Errorf("residual after round 99 = %v, want none", got)
 	}
 }
+
+func TestResidualAfterRoundDeferredPersists(t *testing.T) {
+	// A 24-minute window (15 min overhead, 9 min patch budget) fits the
+	// 5-minute service patches one per round but can never fit a
+	// 10-minute OS patch: the three OS vulnerabilities are deferred and
+	// must persist in the residual at every round, including past the
+	// end of the campaign.
+	vulns := appServerVulns()
+	camp, err := PlanCampaign("app", vulns, CriticalPolicy(), MonthlySchedule(), 24*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(camp.Deferred) != 3 {
+		t.Fatalf("Deferred = %d, want the 3 OS vulnerabilities", len(camp.Deferred))
+	}
+	deferred := make(map[string]bool)
+	for _, v := range camp.Deferred {
+		deferred[v.ID] = true
+	}
+	for completed := 0; completed <= camp.TotalRounds()+2; completed++ {
+		residual := camp.ResidualAfterRound(completed, vulns)
+		got := make(map[string]bool)
+		for _, v := range residual {
+			got[v.ID] = true
+		}
+		for id := range deferred {
+			if !got[id] {
+				t.Errorf("deferred %s missing from residual after %d rounds", id, completed)
+			}
+		}
+		if completed >= camp.TotalRounds() && len(residual) != len(camp.Deferred) {
+			t.Errorf("residual after %d rounds = %d vulns, want exactly the %d deferred",
+				completed, len(residual), len(camp.Deferred))
+		}
+	}
+}
+
+func TestResidualAfterRoundBeyondEndNoPanic(t *testing.T) {
+	// completed far past len(Rounds) — and on an empty campaign — must
+	// not panic and must return the full residual semantics.
+	var empty Campaign
+	if got := empty.ResidualAfterRound(5, appServerVulns()); len(got) != 6 {
+		t.Errorf("empty campaign residual = %d, want all 6", len(got))
+	}
+	camp, err := PlanCampaign("app", appServerVulns(), CriticalPolicy(), MonthlySchedule(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, completed := range []int{camp.TotalRounds(), camp.TotalRounds() + 1, 1 << 20} {
+		if got := camp.ResidualAfterRound(completed, appServerVulns()); len(got) != 0 {
+			t.Errorf("residual after %d rounds = %v, want none", completed, got)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package redundancy
+
+import (
+	"testing"
+	"time"
+
+	"redpatch/internal/availability"
+	"redpatch/internal/vulndb"
+)
+
+func TestCampaignResidualASP(t *testing.T) {
+	e, _ := evaluator(t)
+	camp, err := e.PlanCampaign("app", 35*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.TotalRounds() < 2 {
+		t.Fatalf("rounds = %d, want a split campaign", camp.TotalRounds())
+	}
+	traj, err := e.CampaignResidualASP("app", camp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != camp.TotalRounds()+1 {
+		t.Fatalf("trajectory %d entries, want %d", len(traj), camp.TotalRounds()+1)
+	}
+	for i := 1; i < len(traj); i++ {
+		if traj[i] > traj[i-1] {
+			t.Errorf("residual grew at round %d: %v -> %v", i, traj[i-1], traj[i])
+		}
+	}
+	if traj[0] <= 0 || traj[0] > 1 {
+		t.Errorf("initial residual %v outside (0, 1]", traj[0])
+	}
+	// Everything fit a round (no deferrals), so the floor is clean.
+	if len(camp.Deferred) == 0 && traj[len(traj)-1] != 0 {
+		t.Errorf("final residual %v, want 0 with nothing deferred", traj[len(traj)-1])
+	}
+	// The trajectory composes exactly the campaign's own selected set —
+	// the identity the fleet simulator relies on.
+	var all []vulndb.Vulnerability
+	for _, r := range camp.Rounds {
+		all = append(all, r.Selected...)
+	}
+	all = append(all, camp.Deferred...)
+	for i := range traj {
+		if want := vulndb.CompositeASP(camp.ResidualAfterRound(i, all)); traj[i] != want {
+			t.Errorf("entry %d = %v, campaign-derived %v (must be bit-identical)", i, traj[i], want)
+		}
+	}
+
+	if _, err := e.CampaignResidualASP("nope", camp); err == nil {
+		t.Error("unknown role should fail")
+	}
+}
+
+func TestCampaignTimeline(t *testing.T) {
+	e, _ := evaluator(t)
+	camp, err := e.PlanCampaign("app", 35*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := availability.Rollback{SuccessProb: 0.8, Duration: 10 * time.Minute}
+	offsets := []float64{0.1, 2}
+	pts, err := e.CampaignTimeline("app", camp, rb, 720, offsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != camp.TotalRounds()*len(offsets) {
+		t.Fatalf("points = %d, want %d", len(pts), camp.TotalRounds()*len(offsets))
+	}
+	for i, pt := range pts {
+		round := i / len(offsets)
+		if want := float64(round)*720 + offsets[i%len(offsets)]; pt.Hours != want {
+			t.Errorf("point %d at %v h, want %v", i, pt.Hours, want)
+		}
+		if pt.ServiceUp < 0 || pt.ServiceUp > 1 {
+			t.Errorf("point %d: P(up) = %v", i, pt.ServiceUp)
+		}
+	}
+	// Early in each window the pipeline dominates; by two hours in the
+	// service has recovered.
+	for r := 0; r < camp.TotalRounds(); r++ {
+		early, late := pts[r*2], pts[r*2+1]
+		if early.ServiceUp >= late.ServiceUp {
+			t.Errorf("round %d: no recovery %v -> %v", r, early.ServiceUp, late.ServiceUp)
+		}
+		if late.ServiceUp < 0.99 {
+			t.Errorf("round %d: P(up) at +2h = %v, want ≈ 1", r, late.ServiceUp)
+		}
+	}
+
+	if _, err := e.CampaignTimeline("app", camp, availability.Rollback{}, 720, offsets); err == nil {
+		t.Error("invalid rollback should fail")
+	}
+	if _, err := e.CampaignTimeline("app", camp, rb, 0, offsets); err == nil {
+		t.Error("non-positive cycle should fail")
+	}
+	if _, err := e.CampaignTimeline("app", camp, rb, 720, nil); err == nil {
+		t.Error("no offsets should fail")
+	}
+	if _, err := e.CampaignTimeline("app", camp, rb, 720, []float64{721}); err == nil {
+		t.Error("offset beyond the cycle should fail")
+	}
+}

@@ -1,0 +1,33 @@
+package vulndb
+
+import "sort"
+
+// CompositeASP returns the probability that at least one of the given
+// vulnerabilities is successfully exploited, treating exploit attempts as
+// independent: 1 - ∏(1 - ASP). Only exploitable records contribute — the
+// same admission criterion the HARM applies — so a residual set made of
+// unexploitable flaws composes to zero attack surface. The product runs
+// over the records in ascending CVE-ID order regardless of input order,
+// so callers composing the same set from different traversals (campaign
+// planner, fleet simulator) get bit-identical floats.
+func CompositeASP(vulns []Vulnerability) float64 {
+	asps := make([]struct {
+		id  string
+		asp float64
+	}, 0, len(vulns))
+	for _, v := range vulns {
+		if !v.Exploitable {
+			continue
+		}
+		asps = append(asps, struct {
+			id  string
+			asp float64
+		}{v.ID, v.ASP()})
+	}
+	sort.Slice(asps, func(i, j int) bool { return asps[i].id < asps[j].id })
+	survive := 1.0
+	for _, a := range asps {
+		survive *= 1 - a.asp
+	}
+	return 1 - survive
+}

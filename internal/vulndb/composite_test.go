@@ -1,0 +1,63 @@
+package vulndb
+
+import (
+	"math"
+	"testing"
+
+	"redpatch/internal/cvss"
+)
+
+func compositeFixture() []Vulnerability {
+	return []Vulnerability{
+		{
+			ID:          "CVE-2016-0001",
+			Product:     "A",
+			Component:   ComponentService,
+			Vector:      cvss.MustParse("AV:N/AC:L/Au:N/C:C/I:C/A:C"), // ASP 1.00
+			Exploitable: true,
+		},
+		{
+			ID:          "CVE-2016-0002",
+			Product:     "B",
+			Component:   ComponentOS,
+			Vector:      cvss.MustParse("AV:N/AC:M/Au:N/C:C/I:C/A:C"), // ASP 0.86
+			Exploitable: true,
+		},
+		{
+			ID:          "CVE-2016-0003",
+			Product:     "C",
+			Component:   ComponentService,
+			Vector:      cvss.MustParse("AV:L/AC:L/Au:N/C:C/I:C/A:C"), // local, still has ASP
+			Exploitable: false,
+		},
+	}
+}
+
+func TestCompositeASP(t *testing.T) {
+	vulns := compositeFixture()
+
+	if got := CompositeASP(nil); got != 0 {
+		t.Fatalf("CompositeASP(nil) = %v, want 0", got)
+	}
+	// Only the exploitable records contribute.
+	want := 1 - (1-vulns[0].ASP())*(1-vulns[1].ASP())
+	if got := CompositeASP(vulns); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("CompositeASP = %v, want %v", got, want)
+	}
+	if got := CompositeASP(vulns[2:]); got != 0 {
+		t.Fatalf("unexploitable-only composite = %v, want 0", got)
+	}
+	// Single exploitable record composes to its own ASP.
+	if got := CompositeASP(vulns[1:2]); got != vulns[1].ASP() {
+		t.Fatalf("single composite = %v, want %v", got, vulns[1].ASP())
+	}
+}
+
+func TestCompositeASPOrderIndependent(t *testing.T) {
+	vulns := compositeFixture()
+	forward := CompositeASP(vulns)
+	reversed := CompositeASP([]Vulnerability{vulns[2], vulns[1], vulns[0]})
+	if forward != reversed {
+		t.Fatalf("composite not order independent: %v vs %v", forward, reversed)
+	}
+}

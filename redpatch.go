@@ -516,8 +516,17 @@ type CampaignPlan struct {
 	// Rounds are the planned rounds in execution order, most severe
 	// vulnerabilities earliest.
 	Rounds []CampaignRound `json:"rounds"`
-	// Deferred lists vulnerabilities whose lone patch exceeds the window.
-	Deferred []string `json:"deferred,omitempty"`
+	// TotalRounds counts them.
+	TotalRounds int `json:"totalRounds"`
+	// Deferred lists vulnerabilities whose lone patch exceeds the window
+	// — always present, so API clients can tell "nothing deferred" from
+	// an older server that never reported deferrals.
+	Deferred []string `json:"deferred"`
+	// ResidualASP traces the composite attack-surface probability of the
+	// role's still-unpatched selected vulnerabilities after each
+	// completed round: entry 0 is before any round; with deferrals the
+	// last entry is the floor they leave behind.
+	ResidualASP []float64 `json:"residualAsp"`
 	// TotalDowntimeMinutes sums the rounds.
 	TotalDowntimeMinutes float64 `json:"totalDowntimeMinutes"`
 }
@@ -531,10 +540,17 @@ func (s *CaseStudy) PlanCampaign(role string, window time.Duration) (CampaignPla
 	if err != nil {
 		return CampaignPlan{}, err
 	}
+	residual, err := s.eval.CampaignResidualASP(role, camp)
+	if err != nil {
+		return CampaignPlan{}, err
+	}
 	out := CampaignPlan{
 		Role:                 role,
 		WindowMinutes:        window.Minutes(),
 		Rounds:               make([]CampaignRound, len(camp.Rounds)),
+		TotalRounds:          camp.TotalRounds(),
+		Deferred:             []string{},
+		ResidualASP:          residual,
 		TotalDowntimeMinutes: camp.TotalDowntime().Minutes(),
 	}
 	for i, r := range camp.Rounds {
