@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"redpatch/internal/admission"
 	"redpatch/internal/attacktree"
 	"redpatch/internal/availability"
 	"redpatch/internal/engine"
@@ -946,4 +947,50 @@ func BenchmarkSweepCached(b *testing.B) {
 	if s := eng.Stats().Solves; s != solvesBefore {
 		b.Fatalf("cached sweep re-solved %d designs", s-solvesBefore)
 	}
+}
+
+// BenchmarkAdmissionOverhead prices the admission limiter against the
+// warm evaluate path — the cheapest request redpatchd serves, so the
+// least favourable denominator for the limiter's fixed cost. "off" is
+// the bare memoized evaluation; "on" adds an uncontended
+// Acquire/release pair, the fast path every admitted request takes.
+// The CI bench gate holds both within the shared tolerance, keeping
+// the resilience layer honest about its per-request overhead.
+func BenchmarkAdmissionOverhead(b *testing.B) {
+	study, err := NewCaseStudy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := ClassicSpec("admission-bench", 1, 2, 2, 1)
+	if _, err := study.EvaluateSpec(spec); err != nil { // prime the memo cache
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, lim *admission.Limiter) {
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if lim != nil {
+				release, err := lim.Acquire(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := study.EvaluateSpecCtx(ctx, spec); err != nil {
+					b.Fatal(err)
+				}
+				release()
+				continue
+			}
+			if _, err := study.EvaluateSpecCtx(ctx, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		run(b, admission.New("evaluate", admission.Options{
+			Concurrency: 64,
+			Queue:       256,
+			MaxWait:     10 * time.Second,
+		}))
+	})
 }

@@ -1,0 +1,284 @@
+package main
+
+// Resilience middleware: per-endpoint-class admission control (FIFO
+// concurrency limiting with bounded queues and 429 + Retry-After load
+// shedding), request-deadline propagation (-request-timeout and the
+// per-request ?timeout_ms= override flow as context deadlines into the
+// engine and fleet layers), and panic recovery (a panicking solver or
+// handler becomes a 500 with a span error attribute, never a dead
+// process).
+//
+// Three endpoint classes share the model workers: evaluate (single
+// design evaluations, rank-patches, plan-campaign), sweep (design-space
+// sweeps, NDJSON streaming included) and fleet (fleet planning and
+// simulation). Cheap registry/health/metrics routes are unlimited.
+// Evaluate requests whose design is already in the memo cache bypass
+// the limiter — a saturated daemon still answers warm queries with a
+// map lookup.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"redpatch/internal/admission"
+	"redpatch/internal/trace"
+)
+
+// classLimits sizes one endpoint class's limiter. Zero values select
+// the class defaults; a negative concurrency disables the limiter for
+// the class; a negative queue means "no queue" (shed whatever cannot
+// start immediately).
+type classLimits struct {
+	concurrency int
+	queue       int
+}
+
+// admissionConfig carries the per-class limits and the shared wait
+// budget. The zero value selects all defaults.
+type admissionConfig struct {
+	evaluate classLimits // default 64 in flight, 256 queued
+	sweep    classLimits // default 4 in flight, 16 queued
+	fleet    classLimits // default 4 in flight, 16 queued
+	// maxWait bounds queue time; 0 selects 10s, negative disables the
+	// budget (the request context is then the only wait bound).
+	maxWait time.Duration
+}
+
+// limiter builds one class's limiter, nil when disabled.
+func (c classLimits) limiter(name string, defC, defQ int, maxWait time.Duration) *admission.Limiter {
+	cc, q := c.concurrency, c.queue
+	if cc == 0 {
+		cc = defC
+	}
+	if q == 0 {
+		q = defQ
+	}
+	if cc < 0 {
+		return nil
+	}
+	if q < 0 {
+		q = 0
+	}
+	return admission.New(name, admission.Options{Concurrency: cc, Queue: q, MaxWait: maxWait})
+}
+
+// admissionLimiters holds the three class limiters; a nil entry means
+// the class is unlimited.
+type admissionLimiters struct {
+	evaluate *admission.Limiter
+	sweep    *admission.Limiter
+	fleet    *admission.Limiter
+}
+
+func newAdmissionLimiters(cfg admissionConfig) admissionLimiters {
+	wait := cfg.maxWait
+	if wait == 0 {
+		wait = 10 * time.Second
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	return admissionLimiters{
+		evaluate: cfg.evaluate.limiter("evaluate", 64, 256, wait),
+		sweep:    cfg.sweep.limiter("sweep", 4, 16, wait),
+		fleet:    cfg.fleet.limiter("fleet", 4, 16, wait),
+	}
+}
+
+// all returns the active limiters for the metrics collectors.
+func (a admissionLimiters) all() []*admission.Limiter {
+	var out []*admission.Limiter
+	for _, l := range []*admission.Limiter{a.evaluate, a.sweep, a.fleet} {
+		if l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// admit wraps a handler with a class limiter: acquire (queueing FIFO
+// up to the class bound, respecting the request deadline), serve,
+// release. Shed requests answer 429 with a Retry-After estimate
+// without ever reaching the handler.
+func (s *server) admit(l *admission.Limiter, route string, h http.HandlerFunc) http.HandlerFunc {
+	if l == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := l.Acquire(r.Context())
+		if err != nil {
+			s.shed(w, r, l, route, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// admitEvaluate is the evaluate class's in-handler admission, called
+// after the request decoded: warm specs (already in the scenario's
+// memo cache) take a free slot when one is available but are never
+// queued or shed — the whole point of the bypass is that a saturated
+// daemon still answers them. Returns ok=false with the shed response
+// written.
+func (s *server) admitEvaluate(w http.ResponseWriter, r *http.Request, route string, warm bool) (release func(), ok bool) {
+	l := s.adm.evaluate
+	if l == nil {
+		return func() {}, true
+	}
+	if warm {
+		if rel, got := l.TryAcquire(); got {
+			return rel, true
+		}
+		return func() {}, true
+	}
+	rel, err := l.Acquire(r.Context())
+	if err != nil {
+		s.shed(w, r, l, route, err)
+		return nil, false
+	}
+	return rel, true
+}
+
+// shed answers a rejected request: overload sheds (queue full, wait
+// budget) get 429 + Retry-After; a request whose own context ended
+// while queued gets the usual cancellation/deadline status. Every shed
+// is counted by class and reason.
+func (s *server) shed(w http.ResponseWriter, r *http.Request, l *admission.Limiter, route string, err error) {
+	reason := shedReason(err)
+	s.metrics.admissionSheds.With(l.Name(), reason).Inc()
+	if sp := trace.FromContext(r.Context()); sp != nil {
+		sp.SetAttr("shed", reason)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(route, l)))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("%s overloaded: %w", l.Name(), err))
+}
+
+func shedReason(err error) string {
+	switch {
+	case errors.Is(err, admission.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, admission.ErrWaitBudget):
+		return "wait_budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	default:
+		return "canceled"
+	}
+}
+
+// retryAfter estimates when a shed caller should come back: the
+// route's mean observed latency times the number of requests ahead of
+// it (in flight plus queued, plus itself), divided by the class
+// concurrency — i.e. the expected queue drain time — clamped to
+// [1, 120] seconds. Before any latency observation the estimate falls
+// back to one second per request ahead.
+func (s *server) retryAfter(route string, l *admission.Limiter) int {
+	mean := s.metrics.latency.With(route).Mean()
+	if mean <= 0 {
+		mean = 1
+	}
+	st := l.Stats()
+	est := mean * float64(st.InFlight+st.Waiting+1) / float64(l.Concurrency())
+	secs := int(math.Ceil(est))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return secs
+}
+
+// deadlineMiddleware applies the request deadline: -request-timeout is
+// the server-wide ceiling, ?timeout_ms= lets a request tighten (never
+// extend) it. The deadline flows through the request context into the
+// engine and fleet layers — queued sweep designs are dropped, joins on
+// in-flight solves abandoned, simulations stopped between windows —
+// and requests that exhaust it answer 504 (or a budget_exhausted
+// NDJSON trailer once a stream has started).
+func (s *server) deadlineMiddleware(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.requestTimeout
+		if q := r.URL.Query().Get("timeout_ms"); q != "" {
+			ms, err := strconv.Atoi(q)
+			if err != nil || ms <= 0 {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("timeout_ms=%q: want a positive integer", q))
+				return
+			}
+			if qd := time.Duration(ms) * time.Millisecond; d <= 0 || qd < d {
+				d = qd
+			}
+		}
+		if d <= 0 {
+			h(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.metrics.timeouts.Inc()
+		}
+	}
+}
+
+// recoverMiddleware turns a panicking handler (a solver bug, an
+// injected chaos panic) into a 500 with the panic recorded on the root
+// span and in the log — the daemon must outlive any single request.
+// When the response has already started (a streaming handler panicked
+// mid-body) no status can be written; the connection is left to die,
+// which a streaming client sees as a truncated, trailer-less body.
+func (s *server) recoverMiddleware(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler { // deliberate abort, not a fault
+				panic(p)
+			}
+			s.metrics.panics.Inc()
+			if sp := trace.FromContext(r.Context()); sp != nil {
+				sp.SetAttr("panic", fmt.Sprint(p))
+			}
+			s.log.ErrorContext(r.Context(), "handler panic",
+				"route", route, "panic", p, "stack", string(debug.Stack()))
+			if sw, ok := w.(*statusWriter); !ok || !sw.wrote {
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error: %v", p))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// streamErrorTrailer classifies an error that ended an NDJSON stream
+// after the first byte: the status code is spent, so the trailer line
+// carries the verdict — "budget_exhausted" for an exhausted request
+// deadline, "canceled" for a client disconnect, "internal" otherwise.
+func streamErrorTrailer(err error) map[string]any {
+	tr := map[string]any{"error": err.Error()}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		tr["reason"] = "budget_exhausted"
+	case errors.Is(err, context.Canceled):
+		tr["reason"] = "canceled"
+	default:
+		tr["reason"] = "internal"
+	}
+	return tr
+}

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"redpatch/internal/faultinject"
 	"redpatch/internal/fleet"
 )
 
@@ -26,9 +27,10 @@ import (
 // against scenarioName (letters, digits, dot, underscore, dash), so
 // they are safe path components by construction.
 type cacheStore struct {
-	dir string
-	m   *serverMetrics
-	log *slog.Logger
+	dir   string
+	m     *serverMetrics
+	log   *slog.Logger
+	chaos *faultinject.Injector // "persist" site; nil in production
 
 	// dumpMu serializes dump() whole: a periodic-flush tick racing the
 	// shutdown dump must never rename an older snapshot over a newer
@@ -41,6 +43,11 @@ type cacheStore struct {
 	// zero means "empty registry persisted", so a never-touched fleet
 	// writes no file.
 	fleetRev uint64
+	// inOutage marks a persistence outage in progress: the first failed
+	// dump logs at Error, repeats at Debug (a broken disk must not flood
+	// the log once per backoff retry), and the next successful write
+	// logs the recovery at Info.
+	inOutage bool
 }
 
 func newCacheStore(dir string, m *serverMetrics, logger *slog.Logger) (*cacheStore, error) {
@@ -105,9 +112,38 @@ func (cs *cacheStore) forget(name string) {
 	cs.mu.Unlock()
 }
 
+// dumpFailed records a failed persistence write: Error on the first
+// failure of an outage, Debug on repeats, so a dead disk logs once, not
+// once per backoff retry.
+func (cs *cacheStore) dumpFailed(msg string, args ...any) {
+	cs.mu.Lock()
+	first := !cs.inOutage
+	cs.inOutage = true
+	cs.mu.Unlock()
+	if first {
+		cs.log.Error(msg, args...)
+	} else {
+		cs.log.Debug(msg, args...)
+	}
+}
+
+// dumpSucceeded clears the outage state after a successful write (a
+// clean skip proves nothing about the disk and does not clear it).
+func (cs *cacheStore) dumpSucceeded() {
+	cs.mu.Lock()
+	recovered := cs.inOutage
+	cs.inOutage = false
+	cs.mu.Unlock()
+	if recovered {
+		cs.log.Info("cache: persistence recovered")
+	}
+}
+
 // dump writes one scenario's cache atomically (temp file + rename),
 // skipping the write when no design finished since the last dump.
-func (cs *cacheStore) dump(sc *scenario) {
+// Returns false when the write failed, so the flush loop can retry with
+// backoff instead of waiting out a full interval.
+func (cs *cacheStore) dump(sc *scenario) bool {
 	cs.dumpMu.Lock()
 	defer cs.dumpMu.Unlock()
 	entries := sc.study.CacheEntries()
@@ -115,13 +151,18 @@ func (cs *cacheStore) dump(sc *scenario) {
 	clean := cs.dumped[sc.name] == entries
 	cs.mu.Unlock()
 	if clean {
-		return
+		return true
+	}
+	if cerr := cs.chaos.Hit("persist"); cerr != nil {
+		cs.m.cacheFlushErrors.Inc()
+		cs.dumpFailed("cache: flush failed writing dump", "scenario", sc.name, "error", cerr)
+		return false
 	}
 	tmp, err := os.CreateTemp(cs.dir, sc.name+".cache.*.tmp")
 	if err != nil {
 		cs.m.cacheFlushErrors.Inc()
-		cs.log.Error("cache: flush failed creating temp dump", "scenario", sc.name, "error", err)
-		return
+		cs.dumpFailed("cache: flush failed creating temp dump", "scenario", sc.name, "error", err)
+		return false
 	}
 	n, err := sc.study.SnapshotCache(tmp)
 	if err == nil {
@@ -135,14 +176,16 @@ func (cs *cacheStore) dump(sc *scenario) {
 	if err != nil {
 		cs.m.cacheFlushErrors.Inc()
 		os.Remove(tmp.Name())
-		cs.log.Error("cache: flush failed writing dump", "scenario", sc.name, "error", err)
-		return
+		cs.dumpFailed("cache: flush failed writing dump", "scenario", sc.name, "error", err)
+		return false
 	}
 	cs.mu.Lock()
 	cs.dumped[sc.name] = n
 	cs.mu.Unlock()
 	cs.m.cacheFlushes.Inc()
+	cs.dumpSucceeded()
 	cs.log.Info("cache: dumped designs", "scenario", sc.name, "designs", n, "path", cs.path(sc.name))
+	return true
 }
 
 // fleetPath is the fleet registry's dump file. Scenario dumps end in
@@ -176,8 +219,8 @@ func (cs *cacheStore) loadFleet(reg *fleet.Registry) {
 
 // dumpFleet writes the fleet registry atomically (temp file + rename),
 // skipping the write when the registry has not changed since the last
-// load or dump.
-func (cs *cacheStore) dumpFleet(reg *fleet.Registry) {
+// load or dump. Returns false when the write failed.
+func (cs *cacheStore) dumpFleet(reg *fleet.Registry) bool {
 	cs.dumpMu.Lock()
 	defer cs.dumpMu.Unlock()
 	rev := reg.Rev()
@@ -185,17 +228,22 @@ func (cs *cacheStore) dumpFleet(reg *fleet.Registry) {
 	clean := cs.fleetRev == rev
 	cs.mu.Unlock()
 	if clean {
-		return
+		return true
+	}
+	if cerr := cs.chaos.Hit("persist"); cerr != nil {
+		cs.m.cacheFlushErrors.Inc()
+		cs.dumpFailed("cache: flush failed writing fleet dump", "error", cerr)
+		return false
 	}
 	data, err := reg.Snapshot()
 	if err != nil {
-		cs.log.Error("cache: fleet snapshot failed", "error", err)
-		return
+		cs.dumpFailed("cache: fleet snapshot failed", "error", err)
+		return false
 	}
 	tmp, err := os.CreateTemp(cs.dir, "fleet.*.tmp")
 	if err != nil {
-		cs.log.Error("cache: flush failed creating fleet temp dump", "error", err)
-		return
+		cs.dumpFailed("cache: flush failed creating fleet temp dump", "error", err)
+		return false
 	}
 	if _, err = tmp.Write(data); err == nil {
 		err = tmp.Close()
@@ -207,41 +255,65 @@ func (cs *cacheStore) dumpFleet(reg *fleet.Registry) {
 	}
 	if err != nil {
 		os.Remove(tmp.Name())
-		cs.log.Error("cache: flush failed writing fleet dump", "error", err)
-		return
+		cs.dumpFailed("cache: flush failed writing fleet dump", "error", err)
+		return false
 	}
 	cs.mu.Lock()
 	cs.fleetRev = rev
 	cs.mu.Unlock()
+	cs.dumpSucceeded()
 	cs.log.Info("cache: dumped fleet", "path", cs.fleetPath())
+	return true
 }
 
 // dumpCaches dumps every registered scenario and the fleet registry;
 // redpatchd calls it on graceful shutdown and from the periodic flush
-// loop.
-func (s *server) dumpCaches() {
+// loop. Returns false when any dump failed.
+func (s *server) dumpCaches() bool {
 	if s.store == nil {
-		return
+		return true
 	}
+	ok := true
 	for _, sc := range s.reg.list() {
-		s.store.dump(sc)
+		if !s.store.dump(sc) {
+			ok = false
+		}
 	}
-	s.store.dumpFleet(s.fleetReg)
+	if !s.store.dumpFleet(s.fleetReg) {
+		ok = false
+	}
+	return ok
 }
 
 // flushLoop periodically dumps dirty scenario caches until the context
 // ends. A crash between flushes loses at most one interval of solves —
 // re-solvable by definition — never the file's integrity, since dumps
-// are written atomically.
+// are written atomically. Failed flushes retry with capped exponential
+// backoff (1s, 2s, 4s, ... capped at the flush interval) rather than
+// leaving a whole interval of solves unprotected; each scheduled retry
+// bumps redpatchd_persist_retries_total, and the outage logging above
+// keeps a dead disk to one Error line per outage.
 func (s *server) flushLoop(ctx context.Context, interval time.Duration) {
-	t := time.NewTicker(interval)
+	t := time.NewTimer(interval)
 	defer t.Stop()
+	retries := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			s.dumpCaches()
 		}
+		if s.dumpCaches() {
+			retries = 0
+			t.Reset(interval)
+			continue
+		}
+		retries++
+		s.metrics.persistRetries.Inc()
+		delay := time.Second << min(retries-1, 20)
+		if delay > interval {
+			delay = interval
+		}
+		t.Reset(delay)
 	}
 }

@@ -8,27 +8,61 @@ package main
 // daemon keeps its fleet.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"redpatch"
 
+	"redpatch/internal/faultinject"
 	"redpatch/internal/fleet"
+	"redpatch/internal/paperdata"
+	"redpatch/internal/patch"
+	"redpatch/internal/redundancy"
 )
 
 // fleetResolver adapts the scenario registry to the fleet scheduler:
 // each system names a scenario, whose case study answers design
-// evaluations from its own memo cache.
+// evaluations from its own memo cache. With fault injection configured,
+// every resolved engine is wrapped so the chaos suite can fail
+// plan-time evaluations ("fleet.evaluate") and campaign planning
+// ("fleet.plan").
 func (s *server) fleetResolver() fleet.Resolver {
 	return func(name string) (fleet.Engine, error) {
 		sc, err := s.reg.get(name)
 		if err != nil {
 			return nil, err
 		}
-		return sc.study.FleetEngine(), nil
+		eng := sc.study.FleetEngine()
+		if s.chaos != nil {
+			return chaosFleetEngine{inj: s.chaos, next: eng}, nil
+		}
+		return eng, nil
 	}
+}
+
+// chaosFleetEngine interposes the fault injector between the fleet
+// scheduler and a scenario engine; test-only (nil injector never wraps).
+type chaosFleetEngine struct {
+	inj  *faultinject.Injector
+	next fleet.Engine
+}
+
+func (c chaosFleetEngine) EvaluateSpecCtx(ctx context.Context, spec paperdata.DesignSpec) (redundancy.Result, error) {
+	if err := c.inj.HitCtx(ctx, "fleet.evaluate"); err != nil {
+		return redundancy.Result{}, err
+	}
+	return c.next.EvaluateSpecCtx(ctx, spec)
+}
+
+func (c chaosFleetEngine) PlanCampaign(role string, maxWindow time.Duration) (patch.Campaign, error) {
+	if err := c.inj.Hit("fleet.plan"); err != nil {
+		return patch.Campaign{}, err
+	}
+	return c.next.PlanCampaign(role, maxWindow)
 }
 
 // checkSystem bounds one fleet system with the same caps as a direct
@@ -212,7 +246,8 @@ type fleetSimulateRequest struct {
 // in execution order (flushed as produced, rollbacks and re-queued CVEs
 // included), then a {"done":true,"summary":...} trailer. Client
 // disconnects cancel the simulation through the request context; errors
-// after the first byte surface as an {"error":...} line.
+// after the first byte surface as an {"error":...,"reason":...} trailer
+// line, so every stream ends in exactly one explicit done or error line.
 func (s *server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
 	var req fleetSimulateRequest
 	if err := decodeJSON(r, &req); err != nil {
@@ -258,6 +293,13 @@ func (s *server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
 		MaxAttempts:   req.MaxAttempts,
 	}
 	sum, err := fleet.Simulate(r.Context(), plan, opts, func(ev fleet.Event) error {
+		// The chaos site sits inside the per-window callback so fault
+		// injection can kill a simulation mid-stream — after the plan
+		// header and some events are out — which is exactly the shape
+		// the goroutine-leak and trailer tests need to exercise.
+		if err := s.chaos.HitCtx(r.Context(), "fleet.window"); err != nil {
+			return err
+		}
 		s.metrics.fleetWindowsExecuted.With(ev.Outcome.String()).Inc()
 		if err := enc.Encode(ev); err != nil {
 			return err
@@ -268,7 +310,7 @@ func (s *server) handleFleetSimulate(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		_ = enc.Encode(map[string]string{"error": err.Error()})
+		_ = enc.Encode(streamErrorTrailer(err))
 		return
 	}
 	_ = enc.Encode(map[string]any{"done": true, "summary": sum})

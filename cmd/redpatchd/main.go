@@ -10,6 +10,10 @@
 //	          [-max-tiers N] [-max-scenarios N] [-pprof]
 //	          [-cache-dir DIR] [-cache-flush D] [-log-format text|json]
 //	          [-critical-threshold s] [-patch-all] [-interval-hours h]
+//	          [-request-timeout D] [-admission-wait D]
+//	          [-evaluate-concurrency N] [-evaluate-queue N]
+//	          [-sweep-concurrency N] [-sweep-queue N]
+//	          [-fleet-concurrency N] [-fleet-queue N]
 //
 // Endpoints:
 //
@@ -59,6 +63,18 @@
 // the cache-hit ratio and an ETA. Logs are structured (log/slog) and
 // carry trace_id/span_id; -log-format selects json or text.
 //
+// The daemon defends itself under load (see admission.go): model-solving
+// endpoints are split into three admission classes — evaluate, sweep,
+// fleet — each with a bounded concurrency limit and FIFO wait queue;
+// requests beyond both are shed with 429 and a Retry-After estimate
+// derived from the route's observed latency. Evaluate requests whose
+// design is already memoized bypass the limiter. -request-timeout (and
+// the per-request ?timeout_ms= override, which can only tighten it)
+// flows as a context deadline through the engine and fleet layers;
+// exhausted budgets answer 504, or a {"error":...,"reason":
+// "budget_exhausted"} NDJSON trailer once a stream has started. Handler
+// panics are recovered into 500s.
+//
 // With -pprof the daemon additionally mounts net/http/pprof under
 // /debug/pprof/ and the recent-trace dump under GET /debug/traces so
 // sweep hot spots can be profiled in production; the endpoints are off
@@ -81,6 +97,8 @@ import (
 
 	"redpatch"
 
+	"redpatch/internal/admission"
+	"redpatch/internal/faultinject"
 	"redpatch/internal/fleet"
 	"redpatch/internal/paperdata"
 	"redpatch/internal/trace"
@@ -101,6 +119,14 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "directory for persisted engine memo caches; empty disables persistence")
 		cacheFlush   = flag.Duration("cache-flush", 5*time.Minute, "periodic cache flush interval with -cache-dir; 0 flushes on shutdown only")
 		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		reqTimeout   = flag.Duration("request-timeout", 0, "server-wide request deadline; 0 disables (?timeout_ms= still applies per request)")
+		admWait      = flag.Duration("admission-wait", 0, "longest a request may queue for admission; 0 selects 10s, negative waits until the request deadline")
+		evalConc     = flag.Int("evaluate-concurrency", 0, "concurrent evaluate-class requests; 0 selects 64, negative disables the limiter")
+		evalQueue    = flag.Int("evaluate-queue", 0, "queued evaluate-class requests beyond the concurrency bound; 0 selects 256, negative disables queueing")
+		sweepConc    = flag.Int("sweep-concurrency", 0, "concurrent sweep-class requests; 0 selects 4, negative disables the limiter")
+		sweepQueue   = flag.Int("sweep-queue", 0, "queued sweep-class requests; 0 selects 16, negative disables queueing")
+		fleetConc    = flag.Int("fleet-concurrency", 0, "concurrent fleet-class requests; 0 selects 4, negative disables the limiter")
+		fleetQueue   = flag.Int("fleet-queue", 0, "queued fleet-class requests; 0 selects 16, negative disables queueing")
 	)
 	flag.Parse()
 
@@ -124,14 +150,21 @@ func main() {
 		fail(err)
 	}
 	hs, err := newServer(study, serverConfig{
-		maxDesigns:   *maxSweep,
-		maxReplicas:  *maxRepl,
-		maxTiers:     *maxTiers,
-		maxScenarios: *maxScenarios,
-		workers:      *workers,
-		pprof:        *pprofOn,
-		cacheDir:     *cacheDir,
-		logger:       logger,
+		maxDesigns:     *maxSweep,
+		maxReplicas:    *maxRepl,
+		maxTiers:       *maxTiers,
+		maxScenarios:   *maxScenarios,
+		workers:        *workers,
+		pprof:          *pprofOn,
+		cacheDir:       *cacheDir,
+		logger:         logger,
+		requestTimeout: *reqTimeout,
+		admission: admissionConfig{
+			evaluate: classLimits{concurrency: *evalConc, queue: *evalQueue},
+			sweep:    classLimits{concurrency: *sweepConc, queue: *sweepQueue},
+			fleet:    classLimits{concurrency: *fleetConc, queue: *fleetQueue},
+			maxWait:  *admWait,
+		},
 		defaultConfig: scenarioConfig{
 			CriticalThreshold: *threshold,
 			PatchAll:          *patchAll,
@@ -209,26 +242,38 @@ type serverConfig struct {
 	progressEvery time.Duration
 	// defaultConfig is reported as the default scenario's configuration.
 	defaultConfig scenarioConfig
+	// admission sizes the per-endpoint-class limiters; the zero value
+	// selects the documented class defaults (see admission.go).
+	admission admissionConfig
+	// requestTimeout is the server-wide request deadline ceiling; 0
+	// leaves requests unbounded unless they send ?timeout_ms=.
+	requestTimeout time.Duration
+	// chaos injects deterministic faults at the daemon's chaos sites for
+	// resilience testing; nil (production) makes every site a no-op.
+	chaos *faultinject.Injector
 }
 
 // server carries the scenario registry and request caps behind the HTTP
 // handlers. study is the default scenario's case study, which the v1
 // endpoints serve directly.
 type server struct {
-	study         *redpatch.CaseStudy
-	reg           *registry
-	fleetReg      *fleet.Registry
-	metrics       *serverMetrics
-	tracer        *trace.Tracer
-	log           *slog.Logger
-	store         *cacheStore // nil without -cache-dir
-	maxDesigns    int
-	maxReplicas   int
-	maxTiers      int
-	maxStates     int
-	pprof         bool
-	progressEvery time.Duration
-	started       time.Time
+	study          *redpatch.CaseStudy
+	reg            *registry
+	fleetReg       *fleet.Registry
+	metrics        *serverMetrics
+	tracer         *trace.Tracer
+	log            *slog.Logger
+	store          *cacheStore // nil without -cache-dir
+	adm            admissionLimiters
+	chaos          *faultinject.Injector // nil in production
+	requestTimeout time.Duration
+	maxDesigns     int
+	maxReplicas    int
+	maxTiers       int
+	maxStates      int
+	pprof          bool
+	progressEvery  time.Duration
+	started        time.Time
 }
 
 func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
@@ -254,6 +299,7 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
 		if store, err = newCacheStore(cfg.cacheDir, m, cfg.logger); err != nil {
 			return nil, err
 		}
+		store.chaos = cfg.chaos
 	}
 	s := &server{
 		study:    study,
@@ -264,12 +310,15 @@ func newServer(study *redpatch.CaseStudy, cfg serverConfig) (*server, error) {
 		// question is answered by the TraceOverhead benchmark, and the
 		// explain surface and histograms need the spans. Only the
 		// /debug/traces dump is gated (behind -pprof).
-		tracer:      trace.New(trace.Options{OnEnd: m.observeSpan}),
-		log:         cfg.logger,
-		store:       store,
-		maxDesigns:  cfg.maxDesigns,
-		maxReplicas: cfg.maxReplicas,
-		maxTiers:    cfg.maxTiers,
+		tracer:         trace.New(trace.Options{OnEnd: m.observeSpan}),
+		log:            cfg.logger,
+		store:          store,
+		adm:            newAdmissionLimiters(cfg.admission),
+		chaos:          cfg.chaos,
+		requestTimeout: cfg.requestTimeout,
+		maxDesigns:     cfg.maxDesigns,
+		maxReplicas:    cfg.maxReplicas,
+		maxTiers:       cfg.maxTiers,
 		// The classic space caps at (maxReplicas+1)^4 CTMC states; hold
 		// arbitrary tier chains to the same order of magnitude.
 		maxStates:     1 << 20,
@@ -302,32 +351,45 @@ func (s *server) checkReplicas(counts ...int) error {
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	// Every route registers through the metrics and tracing middleware
-	// with its mux pattern as the route label and span attribute, so
-	// /metrics reports per-endpoint request counts and latency
-	// histograms and every request runs under a root span.
-	route := func(pattern string, h http.HandlerFunc) {
+	// Every route registers through the metrics, tracing, deadline and
+	// panic-recovery middleware with its mux pattern as the route label
+	// and span attribute, so /metrics reports per-endpoint request counts
+	// and latency histograms and every request runs under a root span
+	// with its deadline applied. Model-solving routes additionally pass
+	// through their admission-class limiter; the limiter sits inside the
+	// deadline middleware (queued waiters respect the request deadline)
+	// and outside recovery (a panicking handler still releases its slot
+	// on the way out).
+	route := func(pattern string, class *admission.Limiter, h http.HandlerFunc) {
+		h = s.recoverMiddleware(pattern, h)
+		if class != nil {
+			h = s.admit(class, pattern, h)
+		}
+		h = s.deadlineMiddleware(h)
 		mux.HandleFunc(pattern, s.metrics.instrument(pattern, s.traceMiddleware(pattern, h)))
 	}
-	route("GET /healthz", s.handleHealthz)
-	route("GET /metrics", s.handleMetrics)
-	route("POST /api/v1/evaluate", s.handleEvaluate)
-	route("POST /api/v1/sweep", s.handleSweep)
-	route("POST /api/v1/pareto", s.handlePareto)
-	route("GET /api/v2/scenarios", s.handleScenarioList)
-	route("POST /api/v2/scenarios", s.handleScenarioCreate)
-	route("DELETE /api/v2/scenarios/{name}", s.handleScenarioDelete)
-	route("POST /api/v2/evaluate", s.handleEvaluateV2)
-	route("POST /api/v2/sweep", s.handleSweepV2)
-	route("POST /api/v2/pareto", s.handleParetoV2)
-	route("POST /api/v2/sweep/stream", s.handleSweepStream)
-	route("POST /api/v2/rank-patches", s.handleRankPatches)
-	route("POST /api/v2/plan-campaign", s.handlePlanCampaign)
-	route("POST /api/v2/fleet/register", s.handleFleetRegister)
-	route("GET /api/v2/fleet/systems", s.handleFleetSystems)
-	route("DELETE /api/v2/fleet/systems/{id}", s.handleFleetSystemDelete)
-	route("POST /api/v2/fleet/plan", s.handleFleetPlan)
-	route("POST /api/v2/fleet/simulate", s.handleFleetSimulate)
+	route("GET /healthz", nil, s.handleHealthz)
+	route("GET /metrics", nil, s.handleMetrics)
+	route("POST /api/v1/evaluate", s.adm.evaluate, s.handleEvaluate)
+	route("POST /api/v1/sweep", s.adm.sweep, s.handleSweep)
+	route("POST /api/v1/pareto", s.adm.sweep, s.handlePareto)
+	route("GET /api/v2/scenarios", nil, s.handleScenarioList)
+	route("POST /api/v2/scenarios", nil, s.handleScenarioCreate)
+	route("DELETE /api/v2/scenarios/{name}", nil, s.handleScenarioDelete)
+	// v2 evaluate admits in-handler (see admitEvaluate): only after the
+	// spec is decoded can a warm design be recognized and bypass the
+	// limiter.
+	route("POST /api/v2/evaluate", nil, s.handleEvaluateV2)
+	route("POST /api/v2/sweep", s.adm.sweep, s.handleSweepV2)
+	route("POST /api/v2/pareto", s.adm.sweep, s.handleParetoV2)
+	route("POST /api/v2/sweep/stream", s.adm.sweep, s.handleSweepStream)
+	route("POST /api/v2/rank-patches", s.adm.evaluate, s.handleRankPatches)
+	route("POST /api/v2/plan-campaign", s.adm.evaluate, s.handlePlanCampaign)
+	route("POST /api/v2/fleet/register", nil, s.handleFleetRegister)
+	route("GET /api/v2/fleet/systems", nil, s.handleFleetSystems)
+	route("DELETE /api/v2/fleet/systems/{id}", nil, s.handleFleetSystemDelete)
+	route("POST /api/v2/fleet/plan", s.adm.fleet, s.handleFleetPlan)
+	route("POST /api/v2/fleet/simulate", s.adm.fleet, s.handleFleetSimulate)
 	if s.pprof {
 		// Explicit registrations rather than the net/http/pprof side
 		// effect: the daemon never serves http.DefaultServeMux. No
@@ -339,7 +401,7 @@ func (s *server) handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		// The recent-trace ring rides the same opt-in: span attributes
 		// reveal request shapes and internal timings.
-		route("GET /debug/traces", s.handleDebugTraces)
+		route("GET /debug/traces", nil, s.handleDebugTraces)
 	}
 	return mux
 }
@@ -542,7 +604,12 @@ func decodeJSON(r *http.Request, v any) error {
 }
 
 func statusFor(err error) int {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The request's budget (-request-timeout or ?timeout_ms=) ran
+		// out before the model solved.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
 		return 499 // client closed request
 	}
 	return http.StatusInternalServerError

@@ -14,6 +14,7 @@ import (
 
 	"redpatch"
 
+	"redpatch/internal/admission"
 	"redpatch/internal/metrics"
 )
 
@@ -41,6 +42,11 @@ type serverMetrics struct {
 	fleetWindowsPlanned  *metrics.Counter
 	fleetWindowsExecuted *metrics.CounterVec // outcome
 	fleetDeadlineAtRisk  *metrics.Gauge
+
+	admissionSheds *metrics.CounterVec // class, reason
+	panics         *metrics.Counter
+	timeouts       *metrics.Counter
+	persistRetries *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -81,6 +87,15 @@ func newServerMetrics() *serverMetrics {
 			"outcome"),
 		fleetDeadlineAtRisk: reg.NewGauge("redpatchd_fleet_deadline_at_risk",
 			"Systems whose campaign misses their compliance deadline in the most recent fleet plan."),
+		admissionSheds: reg.NewCounterVec("redpatchd_admission_sheds_total",
+			"Requests shed by admission control, by endpoint class and reason (queue_full, wait_budget, deadline, canceled).",
+			"class", "reason"),
+		panics: reg.NewCounter("redpatchd_handler_panics_total",
+			"Handler panics recovered into 500 responses."),
+		timeouts: reg.NewCounter("redpatchd_request_timeouts_total",
+			"Requests whose deadline (-request-timeout or ?timeout_ms=) expired."),
+		persistRetries: reg.NewCounter("redpatchd_persist_retries_total",
+			"Backoff retries scheduled after failed cache or fleet persistence flushes."),
 	}
 }
 
@@ -137,6 +152,27 @@ func (m *serverMetrics) registerCollectors(s *server) {
 	m.reg.NewGaugeFunc("redpatchd_fleet_systems",
 		"Systems registered in the fleet.",
 		func() float64 { return float64(s.fleetReg.Len()) })
+	// Admission limiter state is read live at scrape time, one sample per
+	// active endpoint class.
+	admStat := func(get func(admission.Stats) float64) func() []metrics.Sample {
+		return func() []metrics.Sample {
+			ls := s.adm.all()
+			out := make([]metrics.Sample, len(ls))
+			for i, l := range ls {
+				out[i] = metrics.Sample{Labels: []string{l.Name()}, Value: get(l.Stats())}
+			}
+			return out
+		}
+	}
+	m.reg.NewGaugeVecFunc("redpatchd_admission_in_flight",
+		"Requests currently holding an admission slot, by endpoint class.",
+		[]string{"class"}, admStat(func(st admission.Stats) float64 { return float64(st.InFlight) }))
+	m.reg.NewGaugeVecFunc("redpatchd_admission_waiting",
+		"Requests queued for admission, by endpoint class.",
+		[]string{"class"}, admStat(func(st admission.Stats) float64 { return float64(st.Waiting) }))
+	m.reg.NewCounterVecFunc("redpatchd_admission_admitted_total",
+		"Requests admitted past the limiter, by endpoint class.",
+		[]string{"class"}, admStat(func(st admission.Stats) float64 { return float64(st.Admitted) }))
 	m.reg.NewGaugeFunc("redpatchd_scenarios",
 		"Registered scenarios, the default included.",
 		func() float64 { return float64(len(s.reg.list())) })
@@ -165,15 +201,24 @@ func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.Handle
 
 // statusWriter records the status code while passing Flush through, so
 // the NDJSON streaming endpoint keeps flushing per result under the
-// middleware.
+// middleware. wrote tracks whether the response has started, which the
+// panic-recovery middleware needs: once the first byte is out, no error
+// status can be written.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (w *statusWriter) Flush() {

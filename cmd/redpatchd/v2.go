@@ -321,6 +321,19 @@ func (s *server) handleEvaluateV2(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Admission happens here rather than in route middleware: the spec
+	// must be decoded before a warm (already-memoized) design can be
+	// recognized and bypass the limiter — a saturated daemon still
+	// answers warm queries with a map lookup.
+	release, ok := s.admitEvaluate(w, r, "POST /api/v2/evaluate", sc.study.CachePeek(spec))
+	if !ok {
+		return
+	}
+	defer release()
+	if err := s.chaos.HitCtx(r.Context(), "http.evaluate"); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
 	report, err := sc.study.EvaluateSpecCtx(r.Context(), spec)
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -451,7 +464,10 @@ func (s *server) handleParetoV2(w http.ResponseWriter, r *http.Request) {
 // cache-hit ratio and an ETA (at most one per progressEvery), then a
 // {"done":true,...} trailer. Client disconnects cancel the sweep through
 // the request context. Errors after the first byte cannot change the
-// status code; they surface as an {"error":...} line instead.
+// status code; they surface as an {"error":...,"reason":...} trailer
+// line instead (reason "budget_exhausted" for an expired request
+// deadline, "canceled", or "internal"). Every stream therefore ends in
+// exactly one explicit done or error line.
 func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	sc, req, err := s.scenarioSweep(r)
 	if err != nil {
@@ -505,7 +521,7 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		return nil
 	}, progress)
 	if err != nil {
-		_ = enc.Encode(map[string]string{"error": err.Error()})
+		_ = enc.Encode(streamErrorTrailer(err))
 		return
 	}
 	_ = enc.Encode(map[string]any{"done": true, "scenario": sc.name, "total": total, "kept": kept})

@@ -179,7 +179,9 @@ func (g *Engine) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, err
 // progress and this call waited for it). The context does not cancel an
 // in-flight solve — a result being computed belongs to every caller
 // deduplicated onto it, so the first caller's cancellation must not
-// poison the shared entry.
+// poison the shared entry — but a caller *joining* an in-flight solve
+// abandons its wait when its context ends: the solve finishes and
+// memoizes without it.
 func (g *Engine) EvaluateSpecCtx(ctx context.Context, spec paperdata.DesignSpec) (redundancy.Result, error) {
 	return g.evaluateSpecTraced(ctx, spec,
 		trace.Attr{Key: "design", Value: spec.Name})
@@ -243,7 +245,15 @@ func (g *Engine) evaluateSpec(ctx context.Context, sp *trace.Span, spec paperdat
 			sp.SetAttr("cache", "hit")
 		default:
 			sp.SetAttr("cache", "inflight")
-			<-e.ready
+			// A join abandons its wait when the caller's deadline fires:
+			// the in-flight solve continues (its result belongs to every
+			// deduplicated caller and is memoized for the next request),
+			// but this caller stops occupying a connection for it.
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return redundancy.Result{}, ctx.Err()
+			}
 		}
 	}
 
@@ -253,6 +263,30 @@ func (g *Engine) evaluateSpec(ctx context.Context, sp *trace.Span, spec paperdat
 	r := e.res
 	r.Spec = spec
 	return r, nil
+}
+
+// Peek reports whether spec's result is already completed in the memo
+// cache — no solve, no wait, no stats movement. Admission control uses
+// it to let warm requests bypass the limiter: a true Peek means the
+// matching EvaluateSpec call is a map lookup, safe to serve even on a
+// saturated daemon. In-flight solves and erred entries read false.
+func (g *Engine) Peek(spec paperdata.DesignSpec) bool {
+	if spec.Validate() != nil {
+		return false
+	}
+	k := key{fp: g.fp, spec: spec.Key()}
+	g.mu.Lock()
+	e, ok := g.cache[k]
+	g.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+		return e.err == nil
+	default:
+		return false
+	}
 }
 
 // EvaluateAll scores every design on the worker pool and returns results

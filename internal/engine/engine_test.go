@@ -526,3 +526,48 @@ func TestStatsWithoutSolverProvider(t *testing.T) {
 		t.Errorf("wrapped evaluator without SolverStats leaked counters: %+v", st)
 	}
 }
+
+// TestSweepCancelDropsQueuedSpecs: a cancelled sweep must stop issuing
+// queued designs to the evaluator — only the design already in flight
+// at cancellation runs; the rest of the space is dropped before a
+// worker ever picks it up, so the pool frees immediately instead of
+// cycling the dead request's backlog.
+func TestSweepCancelDropsQueuedSpecs(t *testing.T) {
+	ce := &countingEvaluator{inner: paperEvaluator(t), gate: make(chan struct{})}
+	g, err := New(ce, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Sweep(ctx, FullSpace(3)) // 81 designs
+		done <- err
+	}()
+
+	// Wait for the single worker to start design #1, then pull the plug
+	// while it is blocked inside the evaluator.
+	deadline := time.Now().Add(5 * time.Second)
+	for ce.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("evaluator never called")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(ce.gate) // release the in-flight solve
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("sweep err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled sweep never returned")
+	}
+	if n := ce.calls.Load(); n != 1 {
+		t.Fatalf("evaluator ran %d designs after cancellation, want 1 (queued specs must be dropped)", n)
+	}
+}

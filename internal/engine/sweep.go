@@ -282,7 +282,12 @@ func (g *Engine) sweep(ctx context.Context, spec SweepSpec, emit func(int, redun
 	start := time.Now()
 	done := 0
 	var firstErr error
-	workpool.Stream(g.workers, designs,
+	// StreamCtx drops still-queued designs the moment ctx ends — workers
+	// exit before picking the next item — so a cancelled sweep releases
+	// the pool immediately instead of cycling every queued spec through
+	// fn. The in-fn check below handles the pickup race (a worker that
+	// grabbed its item just before the cancellation landed).
+	workpool.StreamCtx(ctx, g.workers, designs,
 		func(_ int, d paperdata.DesignSpec) (redundancy.Result, error) {
 			if err := ctx.Err(); err != nil {
 				return redundancy.Result{}, err

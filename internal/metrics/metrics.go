@@ -276,6 +276,18 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// Mean returns the average of all observations, 0 before the first.
+// redpatchd's admission layer reads it to estimate Retry-After for
+// shed requests (expected service time × queue depth ÷ concurrency).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
 func (h *Histogram) write(w io.Writer, fam *family, lv []string) {
 	h.mu.Lock()
 	counts := append([]uint64(nil), h.counts...)

@@ -302,3 +302,19 @@ func TestExpBuckets(t *testing.T) {
 		}()
 	}
 }
+
+// TestHistogramMean: the mean tracks sum/count and reads 0 before any
+// observation.
+func TestHistogramMean(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("m", "help", []float64{1, 10})
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("Mean of empty histogram = %g, want 0", got)
+	}
+	h.Observe(2)
+	h.Observe(4)
+	h.Observe(12)
+	if got := h.Mean(); got != 6 {
+		t.Fatalf("Mean = %g, want 6", got)
+	}
+}

@@ -8,6 +8,7 @@
 package workpool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,17 @@ func Map[T, R any](workers int, items []T, fn func(int, T) (R, error)) ([]R, err
 // their outcomes are discarded. Stream returns once every worker has
 // exited. workers <= 0 selects GOMAXPROCS.
 func Stream[T, R any](workers int, items []T, fn func(int, T) (R, error), emit func(idx int, r R, err error) bool) {
+	StreamCtx(context.Background(), workers, items, fn, emit)
+}
+
+// StreamCtx is Stream with a cancellation context: once ctx is done,
+// workers exit before picking up their next item, so a cancelled
+// caller's queued items are dropped instead of burning worker slots on
+// fn calls whose outcomes nobody wants. Items already in flight finish
+// normally (fn is not interrupted); their outcomes still reach emit.
+// The engine's sweeps run on this so a disconnected sweep releases the
+// pool at once rather than draining its whole backlog through fn.
+func StreamCtx[T, R any](ctx context.Context, workers int, items []T, fn func(int, T) (R, error), emit func(idx int, r R, err error) bool) {
 	n := len(items)
 	if n == 0 {
 		return
@@ -110,7 +122,7 @@ func Stream[T, R any](workers int, items []T, fn func(int, T) (R, error), emit f
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || stop.Load() {
+				if i >= n || stop.Load() || ctx.Err() != nil {
 					return
 				}
 				r, err := fn(i, items[i])

@@ -1,6 +1,7 @@
 package workpool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -159,5 +160,63 @@ func TestStreamPropagatesErrors(t *testing.T) {
 	})
 	if !errors.Is(sawErr, boom) {
 		t.Fatalf("collector saw %v, want boom", sawErr)
+	}
+}
+
+// TestStreamCtxDropsQueuedWork: once the context is cancelled, workers
+// must exit without picking up still-queued items — a cancelled
+// caller's backlog must not cycle through fn (even a cheap fn call per
+// queued item holds the worker slot and channel against other users of
+// the pool).
+func TestStreamCtxDropsQueuedWork(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	items := make([]int, 1000)
+	StreamCtx(ctx, 1, items, func(i int, _ int) (int, error) {
+		calls.Add(1)
+		cancel() // cancel while the first item is in flight
+		return i, nil
+	}, func(int, int, error) bool { return true })
+	// Worker 1 picked item 0 before the cancel; everything else was
+	// queued and must have been dropped at the loop top.
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times after cancellation, want 1", n)
+	}
+}
+
+// TestStreamCtxDeliversInFlightOutcome: items already in flight at
+// cancellation finish normally and their outcomes still reach emit.
+func TestStreamCtxDeliversInFlightOutcome(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered []int
+	StreamCtx(ctx, 1, []int{7, 8, 9}, func(i int, v int) (int, error) {
+		if i == 1 {
+			cancel()
+		}
+		return v, nil
+	}, func(_ int, r int, err error) bool {
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered = append(delivered, r)
+		return true
+	})
+	// Items 0 and 1 ran (1 was in flight when it cancelled); item 2 was
+	// dropped.
+	if len(delivered) != 2 || delivered[0] != 7 || delivered[1] != 8 {
+		t.Fatalf("delivered = %v, want [7 8]", delivered)
+	}
+}
+
+// TestStreamCtxNilSafeBackground: Stream remains StreamCtx under a
+// background context — full delivery, no behaviour change.
+func TestStreamCtxBackgroundDeliversAll(t *testing.T) {
+	n := 0
+	StreamCtx(context.Background(), 4, []int{1, 2, 3, 4, 5},
+		func(_ int, v int) (int, error) { return v, nil },
+		func(int, int, error) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("delivered %d outcomes, want 5", n)
 	}
 }

@@ -37,6 +37,7 @@ import (
 
 	"redpatch/internal/availability"
 	"redpatch/internal/engine"
+	"redpatch/internal/faultinject"
 	"redpatch/internal/harm"
 	"redpatch/internal/paperdata"
 	"redpatch/internal/patch"
@@ -180,7 +181,40 @@ type Config struct {
 	PatchIntervalHours float64
 	// Workers bounds the evaluation worker pool; <= 0 selects GOMAXPROCS.
 	Workers int
+	// Chaos, when non-nil, threads a fault injector between the engine
+	// and the solvers: every design evaluation first runs the injector's
+	// "evaluate" site, which may add latency, return an injected error,
+	// or panic (the engine's panic recovery converts it to an error).
+	// Chaos testing only; nil in production. The fingerprint ignores it —
+	// injected faults never reach the memo cache, so cached results are
+	// chaos-free by construction.
+	Chaos *faultinject.Injector
 }
+
+// ChaosSiteEvaluate is the injector site name CaseStudy evaluations
+// run when Config.Chaos is set.
+const ChaosSiteEvaluate = "evaluate"
+
+// chaosEvaluator interposes a fault-injection site between the engine
+// and the real evaluator. It forwards the SolverStats extension so the
+// engine's dispatch counters keep working under chaos.
+type chaosEvaluator struct {
+	inj  *faultinject.Injector
+	next *redundancy.Evaluator
+}
+
+func (c chaosEvaluator) EvaluateSpec(spec paperdata.DesignSpec) (redundancy.Result, error) {
+	return c.EvaluateSpecContext(context.Background(), spec)
+}
+
+func (c chaosEvaluator) EvaluateSpecContext(ctx context.Context, spec paperdata.DesignSpec) (redundancy.Result, error) {
+	if err := c.inj.HitCtx(ctx, ChaosSiteEvaluate); err != nil {
+		return redundancy.Result{}, err
+	}
+	return c.next.EvaluateSpecContext(ctx, spec)
+}
+
+func (c chaosEvaluator) SolverStats() redundancy.SolverStats { return c.next.SolverStats() }
 
 // datasetFingerprint content-addresses the vulnerability dataset every
 // case study evaluates against: a truncated SHA-256 over its canonical
@@ -241,7 +275,11 @@ func NewCaseStudyWithConfig(cfg Config) (*CaseStudy, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(e, engine.Options{Workers: cfg.Workers, Fingerprint: cfg.fingerprint()})
+	var de engine.DesignEvaluator = e
+	if cfg.Chaos != nil {
+		de = chaosEvaluator{inj: cfg.Chaos, next: e}
+	}
+	eng, err := engine.New(de, engine.Options{Workers: cfg.Workers, Fingerprint: cfg.fingerprint()})
 	if err != nil {
 		return nil, err
 	}
@@ -843,6 +881,21 @@ func (s *CaseStudy) EngineStats() EngineStats {
 // CacheEntries reports the number of completed designs in the engine's
 // memo cache (in-flight solves excluded).
 func (s *CaseStudy) CacheEntries() int { return s.eng.Len() }
+
+// CachePeek reports whether spec's result is already completed in the
+// engine's memo cache, without solving, waiting or moving any counter.
+// redpatchd's admission control uses it to let warm evaluate requests
+// bypass the limiter: a true peek means the matching EvaluateSpec is a
+// map lookup. Best-effort — a concurrent eviction of an erred entry or
+// a racing solve may change the answer by the time the evaluation
+// runs, which costs at most one un-admitted solve.
+func (s *CaseStudy) CachePeek(spec DesignSpec) bool {
+	p := spec.pd()
+	if spec.Name == "" {
+		p.Name = p.CanonicalName()
+	}
+	return s.eng.Peek(p)
+}
 
 // SnapshotCache writes the engine's memo cache to w as versioned JSON,
 // fingerprinted by the vulnerability dataset, patch policy and schedule
