@@ -949,6 +949,83 @@ func BenchmarkSweepCached(b *testing.B) {
 	}
 }
 
+// BenchmarkRolloutQuotient measures one mixed-version rollout point's
+// security evaluation built fully cold: sub-classed rollout quotient,
+// topology, factored HARM with per-instance pruned trees, and the
+// closed-form metric evaluation. This is the model-build cost the
+// evaluator's rollout memo amortizes across a whole schedule.
+func BenchmarkRolloutQuotient(b *testing.B) {
+	trees := paperdata.Trees(paperdata.VulnDB())
+	keep := securityKeep(b)
+	spec := paperdata.Design{Name: "rq", DNS: 2, Web: 4, App: 4, DB: 2}.Spec()
+	patched := []int{1, 2, 2, 1}
+	opts := harm.EvalOptions{Strategy: harm.ASPCompromise, ORRule: attacktree.ORNoisy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rq, err := paperdata.SpecRolloutQuotient(spec, patched)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top, err := paperdata.SpecTopology(rq.Quotient)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := harm.BuildFactoredRollout(harm.BuildInput{
+			Topology:    top,
+			Trees:       trees,
+			TargetRoles: rq.Quotient.TargetStacks(),
+		}, rq.PatchedHosts, keep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := f.Evaluate(rq.Mult, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.NoAP == 0 {
+			b.Fatal("no attack paths")
+		}
+	}
+}
+
+// BenchmarkRolloutSweep is the rollout headline: a 8-wave rolling
+// schedule over the 2-3-2-2 design swept through the engine fully cold —
+// fresh evaluator and engine per iteration, so ns/op covers every
+// mixed-version model build, the partial tier factors and the NDJSON-
+// ready per-point results, exactly what one first-time
+// POST /api/v2/rollout/sweep pays.
+func BenchmarkRolloutSweep(b *testing.B) {
+	spec := paperdata.Design{Name: "rs", DNS: 2, Web: 3, App: 2, DB: 2}.Spec()
+	sched := redundancy.RolloutSchedule{Strategy: redundancy.RolloutRolling, Steps: 8}
+	points, err := sched.Points(len(spec.Tiers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := redundancy.NewEvaluator(redundancy.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := engine.New(ev, engine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		err = eng.RolloutSweep(ctx, spec, points, func(step int, r redundancy.RolloutResult) error {
+			n++
+			return nil
+		}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != len(points) {
+			b.Fatalf("streamed %d points, want %d", n, len(points))
+		}
+	}
+}
+
 // BenchmarkAdmissionOverhead prices the admission limiter against the
 // warm evaluate path — the cheapest request redpatchd serves, so the
 // least favourable denominator for the limiter's fixed cost. "off" is

@@ -32,6 +32,7 @@
 //	POST   /api/v2/sweep            a role-keyed sweep (variant sets allowed)
 //	POST   /api/v2/pareto           like sweep, Pareto front only
 //	POST   /api/v2/sweep/stream     the sweep as flushed NDJSON chunks
+//	POST   /api/v2/rollout/sweep    mixed-version rollout frontier, NDJSON
 //	POST   /api/v2/rank-patches     policy-aware single-patch ranking
 //	POST   /api/v2/plan-campaign    maintenance-window campaign planning
 //
@@ -383,6 +384,7 @@ func (s *server) handler() http.Handler {
 	route("POST /api/v2/sweep", s.adm.sweep, s.handleSweepV2)
 	route("POST /api/v2/pareto", s.adm.sweep, s.handleParetoV2)
 	route("POST /api/v2/sweep/stream", s.adm.sweep, s.handleSweepStream)
+	route("POST /api/v2/rollout/sweep", s.adm.sweep, s.handleRolloutSweep)
 	route("POST /api/v2/rank-patches", s.adm.evaluate, s.handleRankPatches)
 	route("POST /api/v2/plan-campaign", s.adm.evaluate, s.handlePlanCampaign)
 	route("POST /api/v2/fleet/register", nil, s.handleFleetRegister)
@@ -417,6 +419,10 @@ type statsJSON struct {
 	SecurityFactored   uint64 `json:"securityFactored"`
 	SecuritySolves     uint64 `json:"securitySolves"`
 	SecurityFactorHits uint64 `json:"securityFactorHits"`
+	RolloutSolves      uint64 `json:"rolloutSolves"`
+	RolloutHits        uint64 `json:"rolloutHits"`
+	RolloutModels      uint64 `json:"rolloutModels"`
+	RolloutModelHits   uint64 `json:"rolloutModelHits"`
 }
 
 func toStatsJSON(st redpatch.EngineStats) statsJSON {
@@ -430,6 +436,10 @@ func toStatsJSON(st redpatch.EngineStats) statsJSON {
 		SecurityFactored:   st.SecurityFactored,
 		SecuritySolves:     st.SecuritySolves,
 		SecurityFactorHits: st.SecurityFactorHits,
+		RolloutSolves:      st.RolloutSolves,
+		RolloutHits:        st.RolloutHits,
+		RolloutModels:      st.RolloutModels,
+		RolloutModelHits:   st.RolloutModelHits,
 	}
 }
 

@@ -1,0 +1,135 @@
+package main
+
+// The mixed-version rollout surface: POST /api/v2/rollout/sweep streams
+// the security-availability frontier of a rollout schedule as NDJSON —
+// one evaluated point per line in completion order, each scoring the
+// design with some replicas patched and the rest not, plus a trailer
+// carrying the Pareto frontier of the whole rollout.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"redpatch"
+)
+
+// rolloutSweepRequest is the /api/v2/rollout/sweep body: one role-keyed
+// design and a rollout schedule to expand over it.
+type rolloutSweepRequest struct {
+	Scenario string                   `json:"scenario,omitempty"`
+	Spec     redpatch.DesignSpec      `json:"spec"`
+	Schedule redpatch.RolloutSchedule `json:"schedule"`
+}
+
+// handleRolloutSweep streams a rollout sweep as NDJSON with the same
+// contract as handleSweepStream: one point report per line in completion
+// order, flushed as each point finishes, periodic {"progress":true,...}
+// events (rollout cache-hit ratio and ETA, at most one per
+// progressEvery), then a {"done":true,...} trailer that carries the
+// rollout's security-availability frontier (and, with ?explain=1, the
+// request's span provenance). Client disconnects cancel the sweep
+// through the request context; errors after the first byte surface as an
+// {"error":...,"reason":...} trailer line.
+func (s *server) handleRolloutSweep(w http.ResponseWriter, r *http.Request) {
+	var req rolloutSweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkSpec(req.Spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Expanding the schedule before streaming keeps every validation
+	// fault a clean 400: bad strategies, out-of-range fractions and
+	// oversized expansions never start an NDJSON response.
+	points, err := req.Schedule.Points(len(req.Spec.Tiers))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(points) > s.maxDesigns {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("schedule expands to %d points, above the %d cap", len(points), s.maxDesigns))
+		return
+	}
+	sc, err := s.reg.get(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.chaos.HitCtx(r.Context(), "http.evaluate"); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not batch the stream
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // compact: one JSON object per line
+	// Progress and the per-point callback share one collector goroutine,
+	// so both share the encoder without locking. The hit ratio is the
+	// rollout-memo delta since the sweep began — points whose fractions
+	// ceil to already-solved patched counts are hits.
+	st0 := sc.study.EngineStats()
+	start := time.Now()
+	lastProgress := start
+	progress := func(done, total int) {
+		if done >= total || time.Since(lastProgress) < s.progressEvery {
+			return
+		}
+		lastProgress = time.Now()
+		st := sc.study.EngineStats()
+		hits := st.RolloutHits - st0.RolloutHits
+		ratio := 0.0
+		if looked := hits + st.RolloutSolves - st0.RolloutSolves; looked > 0 {
+			ratio = float64(hits) / float64(looked)
+		}
+		elapsed := time.Since(start)
+		eta := elapsed.Seconds() / float64(done) * float64(total-done)
+		_ = enc.Encode(map[string]any{
+			"progress":      true,
+			"done":          done,
+			"total":         total,
+			"cacheHitRatio": ratio,
+			"etaSeconds":    eta,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// The frontier needs every point, so reports accumulate for the
+	// trailer; the expansion is capped at maxDesigns points above.
+	reports := make([]redpatch.RolloutReport, 0, len(points))
+	total, err := sc.study.RolloutSweepEach(r.Context(), req.Spec, req.Schedule, func(rep redpatch.RolloutReport) error {
+		reports = append(reports, rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}, progress)
+	if err != nil {
+		_ = enc.Encode(streamErrorTrailer(err))
+		return
+	}
+	trailer := map[string]any{
+		"done":     true,
+		"scenario": sc.name,
+		"total":    total,
+		"frontier": redpatch.RolloutPareto(reports),
+	}
+	if wantExplain(r) {
+		// Every solver span has ended by now; the provenance block covers
+		// the whole sweep.
+		trailer["explain"] = s.explain(r.Context())
+	}
+	_ = enc.Encode(trailer)
+}

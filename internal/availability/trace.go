@@ -36,3 +36,15 @@ func SolveTierFactorCtx(ctx context.Context, t Tier) (TierFactor, error) {
 	sp.EndErr(err)
 	return f, err
 }
+
+// SolveTierFactorRolloutCtx is SolveTierFactorRollout under an
+// "availability.tierfactor" span additionally recording the patched
+// sub-population size.
+func SolveTierFactorRolloutCtx(ctx context.Context, t Tier, patched int) (TierFactor, error) {
+	_, sp := trace.Start(ctx, "availability.tierfactor",
+		trace.Attr{Key: "n", Value: t.N},
+		trace.Attr{Key: "patched", Value: patched})
+	f, err := SolveTierFactorRollout(t, patched)
+	sp.EndErr(err)
+	return f, err
+}

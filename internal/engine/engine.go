@@ -80,6 +80,15 @@ type Stats struct {
 	SecurityFactored   uint64
 	SecuritySolves     uint64
 	SecurityFactorHits uint64
+	// RolloutSolves is the number of rollout-point evaluations the
+	// engine ran; RolloutHits the number served from (or deduplicated
+	// onto) the rollout memo. The remaining rollout counters mirror the
+	// evaluator's SolverStats: RolloutModels mixed-version security
+	// models built, RolloutModelHits evaluations served from that memo.
+	RolloutSolves    uint64
+	RolloutHits      uint64
+	RolloutModels    uint64
+	RolloutModelHits uint64
 }
 
 // SolverStatsProvider is the optional evaluator extension surfacing
@@ -113,11 +122,14 @@ type Engine struct {
 	workers int
 	fp      string
 
-	mu    sync.Mutex
-	cache map[key]*entry
+	mu      sync.Mutex
+	cache   map[key]*entry
+	rollout map[key]*rolloutEntry
 
-	solves atomic.Uint64
-	hits   atomic.Uint64
+	solves        atomic.Uint64
+	hits          atomic.Uint64
+	rolloutSolves atomic.Uint64
+	rolloutHits   atomic.Uint64
 	// done counts completed successful cache entries (Len's O(1)
 	// source): bumped per solve that memoizes and per restored entry;
 	// never decremented, since only erred entries leave the cache.
@@ -135,13 +147,19 @@ func New(eval DesignEvaluator, opts Options) (*Engine, error) {
 		workers: opts.Workers,
 		fp:      opts.Fingerprint,
 		cache:   make(map[key]*entry),
+		rollout: make(map[key]*rolloutEntry),
 	}, nil
 }
 
 // Stats returns a snapshot of the cache counters, merged with the
 // evaluator's solver-dispatch counters when available.
 func (g *Engine) Stats() Stats {
-	st := Stats{Solves: g.solves.Load(), Hits: g.hits.Load()}
+	st := Stats{
+		Solves:        g.solves.Load(),
+		Hits:          g.hits.Load(),
+		RolloutSolves: g.rolloutSolves.Load(),
+		RolloutHits:   g.rolloutHits.Load(),
+	}
 	if p, ok := g.eval.(SolverStatsProvider); ok {
 		ss := p.SolverStats()
 		st.FactoredSolves = ss.FactoredSolves
@@ -151,6 +169,8 @@ func (g *Engine) Stats() Stats {
 		st.SecurityFactored = ss.SecurityFactored
 		st.SecuritySolves = ss.SecuritySolves
 		st.SecurityFactorHits = ss.SecurityFactorHits
+		st.RolloutModels = ss.RolloutModels
+		st.RolloutModelHits = ss.RolloutModelHits
 	}
 	return st
 }

@@ -1,0 +1,150 @@
+package paperdata
+
+import "fmt"
+
+// Mid-rollout a replica class is mixed-version: some replicas already
+// run the patched stack, the rest still run the unpatched one. The
+// replica-symmetry argument behind SpecQuotient survives the split —
+// within each sub-population the replicas are still identical and
+// identically connected — so a rollout point quotients to at most two
+// classes per (logical tier, stack) pair instead of one.
+
+// RolloutQuotient is the mixed-version quotient of a design at one
+// rollout point.
+type RolloutQuotient struct {
+	// Quotient is the sub-classed quotient spec: one single-replica tier
+	// group per (logical tier, stack, patch-state) class. A class whose
+	// patched count is 0 or its full size contributes one group; a mixed
+	// class contributes two (unpatched first, then patched), wired
+	// identically by SpecTopology since they share role and stack.
+	Quotient DesignSpec
+	// Mult maps the quotient topology's class host names to sub-class
+	// multiplicities (replica counts).
+	Mult map[string]int
+	// PatchedHosts maps the host names of patched sub-classes to their
+	// stack, for per-instance tree pruning downstream.
+	PatchedHosts map[string]string
+	// Structure is the replica-independent rollout structure key. The
+	// quotient spec's own key cannot distinguish which of two duplicate
+	// groups is the patched one, so the patch-state pattern is appended.
+	Structure string
+}
+
+// LogicalIndices returns, for each logical tier in Logical() order, the
+// spec.Tiers indices of its groups — the original-index companion of
+// Logical(), for mapping per-group data (rollout fractions, patched
+// counts) kept in spec order onto the logical layering.
+func (s DesignSpec) LogicalIndices() [][]int {
+	index := make(map[string]int)
+	var out [][]int
+	for i, t := range s.Tiers {
+		j, ok := index[t.Role]
+		if !ok {
+			j = len(out)
+			index[t.Role] = j
+			out = append(out, nil)
+		}
+		out[j] = append(out[j], i)
+	}
+	return out
+}
+
+// SpecRolloutQuotient collapses a spec's replicas into mixed-version
+// classes at one rollout point: patched[i] of spec.Tiers[i]'s replicas
+// run the patched stack. Per (logical tier, stack) class the patched
+// counts of its groups merge; a class split by the rollout yields two
+// quotient groups (unpatched, then patched). The degenerate points —
+// all-zero and all-full patched counts — reproduce SpecQuotient's
+// quotient spec, host names and multiplicities exactly, so the rollout
+// path collapses to the atomic one at both endpoints.
+func SpecRolloutQuotient(spec DesignSpec, patched []int) (RolloutQuotient, error) {
+	if err := spec.Validate(); err != nil {
+		return RolloutQuotient{}, err
+	}
+	if len(patched) != len(spec.Tiers) {
+		return RolloutQuotient{}, fmt.Errorf("paperdata: design spec %q: %d patched counts for %d tiers",
+			spec.Name, len(patched), len(spec.Tiers))
+	}
+	for i, p := range patched {
+		if p < 0 || p > spec.Tiers[i].Replicas {
+			return RolloutQuotient{}, fmt.Errorf("paperdata: design spec %q: tier %s: %d patched of %d replicas",
+				spec.Name, spec.Tiers[i].label(), p, spec.Tiers[i].Replicas)
+		}
+	}
+
+	quotient := DesignSpec{Name: spec.Name + "/rollout"}
+	var counts []int     // sub-class multiplicities, in quotient tier order
+	var isPatched []bool // patch state per quotient tier
+	var markers []byte   // 'u'/'p' pattern appended to the structure key
+	for _, idxs := range spec.LogicalIndices() {
+		role := spec.Tiers[idxs[0]].Role
+		type agg struct{ total, patched int }
+		classes := make(map[string]*agg, len(idxs))
+		var order []string
+		for _, i := range idxs {
+			g := spec.Tiers[i]
+			stack := g.Stack()
+			a, ok := classes[stack]
+			if !ok {
+				a = &agg{}
+				classes[stack] = a
+				order = append(order, stack)
+			}
+			a.total += g.Replicas
+			a.patched += patched[i]
+		}
+		for _, stack := range order {
+			a := classes[stack]
+			variant := ""
+			if stack != role {
+				variant = stack
+			}
+			appendClass := func(n int, p bool) {
+				quotient.Tiers = append(quotient.Tiers, TierSpec{Role: role, Replicas: 1, Variant: variant})
+				counts = append(counts, n)
+				isPatched = append(isPatched, p)
+				if p {
+					markers = append(markers, 'p')
+				} else {
+					markers = append(markers, 'u')
+				}
+			}
+			switch {
+			case a.patched == 0:
+				appendClass(a.total, false)
+			case a.patched == a.total:
+				appendClass(a.total, true)
+			default:
+				appendClass(a.total-a.patched, false)
+				appendClass(a.patched, true)
+			}
+		}
+	}
+
+	// Class host names replay SpecTopology's stack-keyed counter over the
+	// quotient spec; the duplicate groups of a split class get consecutive
+	// numbers ("web1" unpatched, "web2" patched). Logical() preserves the
+	// append order — roles were appended contiguously in first-appearance
+	// order — so the flat index gi walks the tiers exactly as built.
+	rq := RolloutQuotient{
+		Quotient:     quotient,
+		Mult:         make(map[string]int, len(quotient.Tiers)),
+		PatchedHosts: make(map[string]string),
+		Structure:    quotient.Key() + "|" + string(markers),
+	}
+	counter := make(map[string]int)
+	gi := 0
+	for _, lt := range quotient.Logical() {
+		for _, g := range lt.Groups {
+			stack := g.Stack()
+			counter[stack]++
+			name := fmt.Sprintf("%s%d", stack, counter[stack])
+			rq.Mult[name] = counts[gi]
+			if isPatched[gi] {
+				rq.PatchedHosts[name] = stack
+			}
+			gi++
+		}
+	}
+	return rq, nil
+}

@@ -1,0 +1,154 @@
+package paperdata
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLogicalIndices(t *testing.T) {
+	spec := DesignSpec{
+		Name: "het",
+		Tiers: []TierSpec{
+			{Role: RoleDNS, Replicas: 2},
+			{Role: RoleWeb, Replicas: 3},
+			{Role: RoleApp, Replicas: 4},
+			{Role: RoleWeb, Replicas: 2, Variant: RoleWebAlt},
+			{Role: RoleDB, Replicas: 2},
+		},
+	}
+	got := spec.LogicalIndices()
+	want := [][]int{{0}, {1, 3}, {2}, {4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LogicalIndices = %v, want %v", got, want)
+	}
+	// The indices line up with Logical(): same layer count, same group
+	// counts, and the referenced tiers match the logical groups.
+	logical := spec.Logical()
+	if len(logical) != len(got) {
+		t.Fatalf("%d logical tiers, %d index groups", len(logical), len(got))
+	}
+	for li, lt := range logical {
+		if len(lt.Groups) != len(got[li]) {
+			t.Fatalf("logical tier %d: %d groups, %d indices", li, len(lt.Groups), len(got[li]))
+		}
+		for gi, idx := range got[li] {
+			if !reflect.DeepEqual(spec.Tiers[idx], lt.Groups[gi]) {
+				t.Errorf("logical tier %d group %d: index %d points at %+v, logical has %+v",
+					li, gi, idx, spec.Tiers[idx], lt.Groups[gi])
+			}
+		}
+	}
+}
+
+func TestSpecRolloutQuotient(t *testing.T) {
+	spec := DesignSpec{
+		Name: "het",
+		Tiers: []TierSpec{
+			{Role: RoleDNS, Replicas: 2},
+			{Role: RoleWeb, Replicas: 3},
+			{Role: RoleWeb, Replicas: 2, Variant: RoleWebAlt},
+			{Role: RoleWeb, Replicas: 1}, // same stack as the first web group: merges
+			{Role: RoleApp, Replicas: 4},
+			{Role: RoleDB, Replicas: 2},
+		},
+	}
+	// Patch 1 of 2 dns, 2 of the 4 merged web (1 from each group), all
+	// webalt, none of app, all db: dns and web split, the rest stay
+	// single-class.
+	rq, err := SpecRolloutQuotient(spec, []int{1, 1, 2, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMult := map[string]int{
+		"dns1": 1, "dns2": 1, // 1 unpatched, then 1 patched
+		"web1": 2, "web2": 2, // 2 unpatched, then 2 patched
+		"webalt1": 2,
+		"app1":    4,
+		"db1":     2,
+	}
+	if !reflect.DeepEqual(rq.Mult, wantMult) {
+		t.Errorf("Mult = %v, want %v", rq.Mult, wantMult)
+	}
+	wantPatched := map[string]string{
+		"dns2": "dns", "web2": "web", "webalt1": "webalt", "db1": "db",
+	}
+	if !reflect.DeepEqual(rq.PatchedHosts, wantPatched) {
+		t.Errorf("PatchedHosts = %v, want %v", rq.PatchedHosts, wantPatched)
+	}
+	for _, tier := range rq.Quotient.Tiers {
+		if tier.Replicas != 1 {
+			t.Errorf("quotient tier %s has %d replicas, want 1", tier.label(), tier.Replicas)
+		}
+	}
+	// Every multiplicity key is a host of the quotient topology.
+	top, err := SpecTopology(rq.Quotient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range wantMult {
+		if _, ok := top.Node(name); !ok {
+			t.Errorf("quotient topology missing class host %q", name)
+		}
+	}
+
+	// The structure key distinguishes which duplicate group is patched
+	// and is replica-independent for a fixed patch pattern shape.
+	flipped, err := SpecRolloutQuotient(spec, []int{1, 2, 0, 1, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped.Structure == rq.Structure {
+		t.Error("different patch patterns must not share a structure key")
+	}
+
+	// The degenerate points reproduce SpecQuotient exactly: same quotient
+	// identity (Key), same host multiplicities.
+	quotient, mult, _, err := SpecQuotient(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := SpecRolloutQuotient(spec, make([]int, len(spec.Tiers)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Quotient.Key() != quotient.Key() {
+		t.Errorf("all-unpatched quotient key %q != atomic %q", zero.Quotient.Key(), quotient.Key())
+	}
+	if !reflect.DeepEqual(zero.Mult, mult) {
+		t.Errorf("all-unpatched Mult = %v, want %v", zero.Mult, mult)
+	}
+	if len(zero.PatchedHosts) != 0 {
+		t.Errorf("all-unpatched PatchedHosts = %v, want empty", zero.PatchedHosts)
+	}
+	full := []int{2, 3, 2, 1, 4, 2}
+	one, err := SpecRolloutQuotient(spec, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Quotient.Key() != quotient.Key() {
+		t.Errorf("all-patched quotient key %q != atomic %q", one.Quotient.Key(), quotient.Key())
+	}
+	if !reflect.DeepEqual(one.Mult, mult) {
+		t.Errorf("all-patched Mult = %v, want %v", one.Mult, mult)
+	}
+	if len(one.PatchedHosts) != len(one.Quotient.Tiers) {
+		t.Errorf("all-patched PatchedHosts = %v, want every class", one.PatchedHosts)
+	}
+	if zero.Structure == one.Structure {
+		t.Error("all-unpatched and all-patched must not share a structure key")
+	}
+
+	// Validation: wrong length and out-of-range counts are rejected.
+	if _, err := SpecRolloutQuotient(spec, []int{1}); err == nil {
+		t.Error("mismatched patched length should fail")
+	}
+	if _, err := SpecRolloutQuotient(spec, []int{3, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("patched above replicas should fail")
+	}
+	if _, err := SpecRolloutQuotient(spec, []int{-1, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("negative patched should fail")
+	}
+	if _, err := SpecRolloutQuotient(DesignSpec{}, nil); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}

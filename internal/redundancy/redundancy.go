@@ -48,11 +48,12 @@ type Evaluator struct {
 	evalOpts harm.EvalOptions
 	workers  int
 
-	mu       sync.Mutex // guards agg, plans, factors and security (lazy solves)
+	mu       sync.Mutex // guards agg, plans, factors, security and rollout (lazy solves)
 	agg      map[string]availability.AggregatedRates
 	plans    map[string]patch.Plan
 	factors  map[factorKey]availability.TierFactor
 	security map[securityKey]*securityFactor
+	rollout  map[securityKey]*harm.FactoredHARM
 
 	// Solver dispatch counters (see SolverStats).
 	factoredSolves   atomic.Uint64
@@ -62,14 +63,21 @@ type Evaluator struct {
 	securityFactored atomic.Uint64
 	securitySolves   atomic.Uint64
 	securityHits     atomic.Uint64
+	rolloutEvals     atomic.Uint64
+	rolloutModels    atomic.Uint64
+	rolloutModelHits atomic.Uint64
 }
 
 // factorKey identifies one memoized tier factor: a software stack (whose
 // aggregated rates are fixed for the evaluator's policy configuration)
-// deployed at a replica count.
+// deployed at a replica count, with patched servers of the n on the
+// patch cycle. Atomic evaluations always use patched == n, so the
+// fully-patched rollout endpoint lands on — and shares — the atomic
+// memo entries.
 type factorKey struct {
-	stack string
-	n     int
+	stack   string
+	n       int
+	patched int
 }
 
 // securityKey identifies one memoized security factor: the
@@ -125,6 +133,7 @@ func NewEvaluator(opts Options) (*Evaluator, error) {
 		plans:    make(map[string]patch.Plan),
 		factors:  make(map[factorKey]availability.TierFactor),
 		security: make(map[securityKey]*securityFactor),
+		rollout:  make(map[securityKey]*harm.FactoredHARM),
 	}
 	if e.db == nil {
 		e.db = paperdata.VulnDB()
@@ -293,7 +302,7 @@ func (e *Evaluator) networkModelFor(spec paperdata.DesignSpec) (availability.Net
 // counter is an exact distinct-pair count. The hit return reports
 // whether the memo served the factor; the context carries tracing only.
 func (e *Evaluator) tierFactorFor(ctx context.Context, stack string, tier availability.Tier) (availability.TierFactor, bool, error) {
-	k := factorKey{stack: stack, n: tier.N}
+	k := factorKey{stack: stack, n: tier.N, patched: tier.N}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if f, ok := e.factors[k]; ok {
@@ -344,7 +353,7 @@ func (e *Evaluator) memoizedFactors(nm availability.NetworkModel, stacks []strin
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, t := range nm.Tiers {
-		f, ok := e.factors[factorKey{stack: stacks[i], n: t.N}]
+		f, ok := e.factors[factorKey{stack: stacks[i], n: t.N, patched: t.N}]
 		if !ok {
 			return nil, false
 		}
@@ -536,6 +545,16 @@ type SolverStats struct {
 	// SecurityFactorHits is the number of security evaluations served
 	// from the memo.
 	SecurityFactorHits uint64
+	// RolloutEvals is the number of mixed-version rollout-point
+	// evaluations.
+	RolloutEvals uint64
+	// RolloutModels is the number of mixed-version security models built
+	// — one per distinct (rollout structure, policy) pair, the rollout
+	// memo's miss count.
+	RolloutModels uint64
+	// RolloutModelHits is the number of rollout evaluations whose
+	// security model came from the memo.
+	RolloutModelHits uint64
 }
 
 // SolverStats returns a snapshot of the dispatch counters.
@@ -548,6 +567,9 @@ func (e *Evaluator) SolverStats() SolverStats {
 		SecurityFactored:   e.securityFactored.Load(),
 		SecuritySolves:     e.securitySolves.Load(),
 		SecurityFactorHits: e.securityHits.Load(),
+		RolloutEvals:       e.rolloutEvals.Load(),
+		RolloutModels:      e.rolloutModels.Load(),
+		RolloutModelHits:   e.rolloutModelHits.Load(),
 	}
 }
 

@@ -850,6 +850,11 @@ func (s *CaseStudy) SweepEach(ctx context.Context, req SweepRequest, fn func(Des
 // (replica-symmetric) HARM evaluator, SecuritySolves the factored
 // security models built (one per variant structure), and
 // SecurityFactorHits the evaluations served from the security memo.
+// The rollout counters cover mixed-version evaluation: RolloutSolves
+// rollout points evaluated by the engine, RolloutHits points served
+// from (or deduplicated onto) the rollout memo, RolloutModels
+// mixed-version security models built (one per rollout structure), and
+// RolloutModelHits evaluations served from that memo.
 type EngineStats struct {
 	Solves             uint64
 	Hits               uint64
@@ -860,6 +865,10 @@ type EngineStats struct {
 	SecurityFactored   uint64
 	SecuritySolves     uint64
 	SecurityFactorHits uint64
+	RolloutSolves      uint64
+	RolloutHits        uint64
+	RolloutModels      uint64
+	RolloutModelHits   uint64
 }
 
 // EngineStats returns a snapshot of the case study's cache counters.
@@ -875,6 +884,10 @@ func (s *CaseStudy) EngineStats() EngineStats {
 		SecurityFactored:   st.SecurityFactored,
 		SecuritySolves:     st.SecuritySolves,
 		SecurityFactorHits: st.SecurityFactorHits,
+		RolloutSolves:      st.RolloutSolves,
+		RolloutHits:        st.RolloutHits,
+		RolloutModels:      st.RolloutModels,
+		RolloutModelHits:   st.RolloutModelHits,
 	}
 }
 
