@@ -1,12 +1,12 @@
 // Command benchdiff compares `go test -bench` output against a
-// committed baseline (BENCH_PR9.json) and fails when a benchmark has
+// committed baseline (BENCH_PR10.json) and fails when a benchmark has
 // regressed beyond a tolerance factor — the CI gate that keeps the
 // factored-solver speedups honest without flaking on runner noise.
 //
 // Usage:
 //
 //	go test -run '^$' -bench B -benchtime 3x . | tee bench.txt
-//	benchdiff [-baseline BENCH_PR9.json] [-tolerance 3] [-md out.md] [bench.txt]
+//	benchdiff [-baseline BENCH_PR10.json] [-tolerance 3] [-md out.md] [bench.txt]
 //
 // With no file argument the bench output is read from stdin. Only
 // benchmarks present in both the baseline and the run are compared
@@ -173,7 +173,7 @@ func markdownReport(compared []comparison, onlyBaseline, onlyCurrent []string, t
 func run(args []string, in io.Reader, out io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(out)
-	baselinePath := fs.String("baseline", "BENCH_PR9.json", "baseline JSON file")
+	baselinePath := fs.String("baseline", "BENCH_PR10.json", "baseline JSON file")
 	tolerance := fs.Float64("tolerance", 3.0, "fail when current ns/op exceeds baseline by this factor")
 	mdPath := fs.String("md", "", "also write the delta table as markdown to this file")
 	if err := fs.Parse(args); err != nil {

@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	randv2 "math/rand/v2"
 	"os"
 	"path/filepath"
 	"sync"
@@ -288,11 +289,11 @@ func (s *server) dumpCaches() bool {
 // flushLoop periodically dumps dirty scenario caches until the context
 // ends. A crash between flushes loses at most one interval of solves —
 // re-solvable by definition — never the file's integrity, since dumps
-// are written atomically. Failed flushes retry with capped exponential
-// backoff (1s, 2s, 4s, ... capped at the flush interval) rather than
-// leaving a whole interval of solves unprotected; each scheduled retry
-// bumps redpatchd_persist_retries_total, and the outage logging above
-// keeps a dead disk to one Error line per outage.
+// are written atomically. Failed flushes retry with full-jitter capped
+// exponential backoff (uniform over (0, min(1s<<n, interval)]) rather
+// than leaving a whole interval of solves unprotected; each scheduled
+// retry bumps redpatchd_persist_retries_total, and the outage logging
+// above keeps a dead disk to one Error line per outage.
 func (s *server) flushLoop(ctx context.Context, interval time.Duration) {
 	t := time.NewTimer(interval)
 	defer t.Stop()
@@ -310,10 +311,21 @@ func (s *server) flushLoop(ctx context.Context, interval time.Duration) {
 		}
 		retries++
 		s.metrics.persistRetries.Inc()
-		delay := time.Second << min(retries-1, 20)
-		if delay > interval {
-			delay = interval
-		}
-		t.Reset(delay)
+		t.Reset(persistBackoff(retries, interval))
 	}
+}
+
+// persistBackoff is the delay before persistence retry n (1-based):
+// full jitter over a capped exponential upper bound — uniform in
+// (0, min(1s<<(n-1), interval)] — so a fleet of daemons sharing a
+// recovered disk does not hammer it back down in lockstep.
+func persistBackoff(retries int, interval time.Duration) time.Duration {
+	upper := time.Second << min(retries-1, 20)
+	if upper > interval {
+		upper = interval
+	}
+	if upper <= 0 {
+		return interval
+	}
+	return randv2.N(upper) + 1
 }

@@ -1,0 +1,402 @@
+package main
+
+// Cluster-mode tests: the chaos equivalence gate (a worker killed
+// mid-shard plus a fault-injected flaky worker must leave the NDJSON
+// stream's trailer — Pareto front included — byte-identical to a
+// single-process sweep, with no goroutine leak), graceful degradation
+// when no worker is reachable, 429 + Retry-After once every worker
+// circuit is open, deadline propagation through distributed dispatch,
+// and the /readyz gate lifecycle.
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redpatch"
+
+	"redpatch/internal/cluster"
+	"redpatch/internal/faultinject"
+)
+
+// splitStream splits an NDJSON sweep body into its sorted report lines
+// and the final done trailer, dropping progress events. Sorting makes
+// the report set comparable across runs: completion order is
+// nondeterministic even in a single process.
+func splitStream(t *testing.T, body string) (reports []string, trailer string) {
+	t.Helper()
+	lines := ndjsonLines(t, body)
+	trailer = lines[len(lines)-1]
+	if !strings.Contains(trailer, `"done":true`) {
+		t.Fatalf("stream did not end in a done trailer: %q", trailer)
+	}
+	for _, ln := range lines[:len(lines)-1] {
+		if strings.Contains(ln, `"progress":true`) {
+			continue
+		}
+		reports = append(reports, ln)
+	}
+	sort.Strings(reports)
+	return reports, trailer
+}
+
+// localStream runs the sweep on a plain single-process server and
+// returns its sorted report lines and trailer — the ground truth every
+// cluster configuration must reproduce byte-for-byte.
+func localStream(t *testing.T, body string) (reports []string, trailer string) {
+	t.Helper()
+	s := mustServer(t, newStudy(t), serverConfig{progressEvery: time.Hour})
+	w := do(t, s.handler(), http.MethodPost, "/api/v2/sweep/stream", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("local stream status = %d: %s", w.Code, w.Body)
+	}
+	return splitStream(t, w.Body.String())
+}
+
+// streamCutter kills one sweep-stream response at its second line —
+// the first report got through, the rest of the shard (done trailer
+// included) is lost, exactly what a worker SIGKILLed mid-shard looks
+// like to the coordinator. It stays armed until a response actually
+// has a second line to cut, so hash shards that happen to be tiny
+// cannot let the fault go unexercised.
+type streamCutter struct {
+	armed atomic.Bool
+	cut   atomic.Bool
+}
+
+func newStreamCutter() *streamCutter {
+	c := &streamCutter{}
+	c.armed.Store(true)
+	return c
+}
+
+func (c *streamCutter) wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v2/sweep/stream" && c.armed.Load() {
+			w = &cuttingWriter{ResponseWriter: w, c: c}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+type cuttingWriter struct {
+	http.ResponseWriter
+	c     *streamCutter
+	lines int
+	dead  bool
+}
+
+func (cw *cuttingWriter) Write(b []byte) (int, error) {
+	if cw.dead {
+		return 0, errors.New("connection cut")
+	}
+	if cw.lines >= 1 && cw.c.armed.CompareAndSwap(true, false) {
+		cw.dead = true
+		cw.c.cut.Store(true)
+		if hj, ok := cw.ResponseWriter.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+			}
+		}
+		return 0, errors.New("connection cut")
+	}
+	n, err := cw.ResponseWriter.Write(b)
+	cw.lines += bytes.Count(b[:n], []byte{'\n'})
+	return n, err
+}
+
+func (cw *cuttingWriter) Flush() {
+	if f, ok := cw.ResponseWriter.(http.Flusher); ok && !cw.dead {
+		f.Flush()
+	}
+}
+
+// TestClusterSweepChaosEquivalence is the acceptance gate: a sweep
+// sharded over one worker that dies mid-shard and one whose engine
+// fails ~30% of evaluations must stream the same report set and a
+// byte-identical done trailer (Pareto front included) as a plain
+// single-process run, and leak no goroutines.
+func TestClusterSweepChaosEquivalence(t *testing.T) {
+	const body = `{"tiers":[{"role":"web","min":1,"max":8},{"role":"app","min":1,"max":4}]}`
+	wantReports, wantTrailer := localStream(t, body)
+	before := runtime.NumGoroutine()
+
+	// Worker A: healthy engine, but its first streaming shard's
+	// connection is cut mid-stream.
+	wa := mustServer(t, newStudy(t), serverConfig{progressEvery: time.Hour})
+	cutter := newStreamCutter()
+	tsA := httptest.NewServer(cutter.wrap(wa.handler()))
+
+	// Worker B: ~30% of its design evaluations fail, so its shards die
+	// with mid-stream error trailers and get retried or fall back.
+	injB := faultinject.New(11)
+	injB.Configure(redpatch.ChaosSiteEvaluate, faultinject.Site{ErrProb: 0.3})
+	wb := mustServer(t, chaosStudy(t, injB), serverConfig{chaos: injB, progressEvery: time.Hour})
+	tsB := httptest.NewServer(wb.handler())
+
+	coord := mustServer(t, newStudy(t), serverConfig{
+		progressEvery: time.Hour,
+		cluster: clusterConfig{
+			workers:    []string{tsA.URL, tsB.URL},
+			shards:     6,
+			hedgeAfter: -1, // keep the failure schedule deterministic
+		},
+	})
+	h := coord.handler()
+
+	w := do(t, h, http.MethodPost, "/api/v2/sweep/stream", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("cluster stream status = %d: %s", w.Code, w.Body)
+	}
+	gotReports, gotTrailer := splitStream(t, w.Body.String())
+	if gotTrailer != wantTrailer {
+		t.Fatalf("cluster trailer diverged from single-process run:\n got %s\nwant %s", gotTrailer, wantTrailer)
+	}
+	if len(gotReports) != len(wantReports) {
+		t.Fatalf("cluster streamed %d reports, single process %d", len(gotReports), len(wantReports))
+	}
+	for i := range gotReports {
+		if gotReports[i] != wantReports[i] {
+			t.Fatalf("report %d diverged:\n got %s\nwant %s", i, gotReports[i], wantReports[i])
+		}
+	}
+	if !cutter.cut.Load() {
+		t.Fatal("the stream cutter never fired: the mid-shard death was not exercised")
+	}
+	// Shut the workers down before the leak check: closing them reaps
+	// their connection goroutines and the coordinator's idle keep-alive
+	// conns, leaving only what the sweep itself might have leaked.
+	tsA.Close()
+	tsB.Close()
+	waitGoroutines(t, before)
+
+	// The robustness machinery must actually have engaged, and its
+	// counters must be scrapeable.
+	m := scrape(t, h)
+	if v, _ := strconv.ParseFloat(metricValue(t, m, "redpatchd_cluster_dispatches_total"), 64); v < 6 {
+		t.Fatalf("dispatches = %v, want >= 6 (one per shard)", v)
+	}
+	retries, _ := strconv.ParseFloat(metricValue(t, m, "redpatchd_cluster_retries_total"), 64)
+	fallbacks, _ := strconv.ParseFloat(metricValue(t, m, "redpatchd_cluster_local_fallbacks_total"), 64)
+	if retries+fallbacks < 1 {
+		t.Fatal("neither a retry nor a local fallback happened under injected faults")
+	}
+}
+
+// TestClusterSweepUnreachableWorkers: with every configured worker
+// address refusing connections, each shard falls back to local
+// evaluation and the output stays byte-identical to a single process.
+func TestClusterSweepUnreachableWorkers(t *testing.T) {
+	const body = `{"tiers":[{"role":"web","min":1,"max":6}]}`
+	wantReports, wantTrailer := localStream(t, body)
+
+	coord := mustServer(t, newStudy(t), serverConfig{
+		progressEvery: time.Hour,
+		cluster: clusterConfig{
+			workers:       []string{"127.0.0.1:1", "127.0.0.1:9"},
+			shards:        3,
+			shardAttempts: 1,
+			hedgeAfter:    -1,
+		},
+	})
+	h := coord.handler()
+	w := do(t, h, http.MethodPost, "/api/v2/sweep/stream", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status = %d: %s", w.Code, w.Body)
+	}
+	gotReports, gotTrailer := splitStream(t, w.Body.String())
+	if gotTrailer != wantTrailer {
+		t.Fatalf("trailer diverged:\n got %s\nwant %s", gotTrailer, wantTrailer)
+	}
+	if len(gotReports) != len(wantReports) {
+		t.Fatalf("streamed %d reports, want %d", len(gotReports), len(wantReports))
+	}
+	m := scrape(t, h)
+	if v, _ := strconv.ParseFloat(metricValue(t, m, "redpatchd_cluster_local_fallbacks_total"), 64); v < 1 {
+		t.Fatal("no local fallback recorded with unreachable workers")
+	}
+}
+
+// TestClusterDispatchChaosSite: the coordinator's own dispatch path
+// runs through the faultinject site wired from -chaos-site, and a
+// fully faulted dispatch plane still yields a correct sweep via local
+// fallback.
+func TestClusterDispatchChaosSite(t *testing.T) {
+	const body = `{"tiers":[{"role":"web","min":1,"max":4}]}`
+	wantReports, wantTrailer := localStream(t, body)
+
+	// A real, healthy worker — which the coordinator can never reach,
+	// because every dispatch attempt errors at the chaos site.
+	wk := mustServer(t, newStudy(t), serverConfig{progressEvery: time.Hour})
+	ts := httptest.NewServer(wk.handler())
+	defer ts.Close()
+
+	inj := faultinject.New(13)
+	inj.Configure(cluster.ChaosSiteDispatch, faultinject.Site{ErrProb: 1})
+	coord := mustServer(t, newStudy(t), serverConfig{
+		chaos:         inj,
+		progressEvery: time.Hour,
+		cluster: clusterConfig{
+			workers:       []string{ts.URL},
+			shards:        2,
+			shardAttempts: 1,
+			hedgeAfter:    -1,
+		},
+	})
+	w := do(t, coord.handler(), http.MethodPost, "/api/v2/sweep/stream", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status = %d: %s", w.Code, w.Body)
+	}
+	gotReports, gotTrailer := splitStream(t, w.Body.String())
+	if gotTrailer != wantTrailer || len(gotReports) != len(wantReports) {
+		t.Fatalf("chaos-dispatch sweep diverged: trailer %s want %s, %d reports want %d",
+			gotTrailer, wantTrailer, len(gotReports), len(wantReports))
+	}
+	if n := inj.Counts(cluster.ChaosSiteDispatch).Errors; n < 2 {
+		t.Fatalf("dispatch chaos site fired %d errors, want >= 2 (one per shard)", n)
+	}
+}
+
+// TestClusterAllCircuitsOpenSheds429: once every worker circuit is
+// open, sweeps execute locally under the sweep admission class — and
+// when that class is saturated the coordinator answers 429 with the
+// Retry-After estimator, not a bare failure.
+func TestClusterAllCircuitsOpenSheds429(t *testing.T) {
+	inj := faultinject.New(9)
+	coord := mustServer(t, chaosStudy(t, inj), serverConfig{
+		chaos:         inj,
+		progressEvery: time.Hour,
+		admission:     admissionConfig{sweep: classLimits{concurrency: 1, queue: -1}},
+		cluster: clusterConfig{
+			workers:          []string{"127.0.0.1:1"},
+			shards:           2,
+			shardAttempts:    1,
+			breakerThreshold: 1,
+			breakerCooldown:  time.Hour,
+			hedgeAfter:       -1,
+		},
+	})
+	h := coord.handler()
+
+	// First sweep: the only worker's first failed dispatch opens its
+	// circuit (threshold 1); the sweep still completes via fallback.
+	w := do(t, h, http.MethodPost, "/api/v2/sweep/stream", `{"tiers":[{"role":"web","min":1,"max":2}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("first sweep status = %d: %s", w.Code, w.Body)
+	}
+	if coord.coord.WorkersAvailable() {
+		t.Fatal("worker circuit still closed after a failed dispatch at threshold 1")
+	}
+
+	// Hold the single local sweep slot with a slow (injected-latency)
+	// sweep; queueing is disabled, so the next sweep is shed instantly.
+	inj.Configure(redpatch.ChaosSiteEvaluate,
+		faultinject.Site{LatencyProb: 1, Latency: 400 * time.Millisecond})
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- do(t, h, http.MethodPost, "/api/v2/sweep/stream", `{"tiers":[{"role":"db","min":1,"max":4}]}`)
+	}()
+	waitCond(t, "local sweep slot taken", func() bool {
+		return coord.adm.sweep.Stats().InFlight == 1
+	})
+
+	w = do(t, h, http.MethodPost, "/api/v2/sweep/stream", `{"tiers":[{"role":"app","min":1,"max":2}]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, want 429: %s", w.Code, w.Body)
+	}
+	if ra, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", w.Header().Get("Retry-After"))
+	}
+	if r := <-done; r.Code != http.StatusOK {
+		t.Fatalf("held sweep status = %d: %s", r.Code, r.Body)
+	}
+}
+
+// TestClusterSweepBudgetTrailer: a request deadline expiring while
+// shards are out on workers cancels the distributed dispatch and ends
+// the stream with the budget_exhausted trailer, same as the local path.
+func TestClusterSweepBudgetTrailer(t *testing.T) {
+	injW := faultinject.New(12)
+	injW.Configure(redpatch.ChaosSiteEvaluate,
+		faultinject.Site{LatencyProb: 1, Latency: 100 * time.Millisecond})
+	wk := mustServer(t, chaosStudy(t, injW), serverConfig{chaos: injW, progressEvery: time.Hour})
+	ts := httptest.NewServer(wk.handler())
+	defer ts.Close()
+
+	coord := mustServer(t, newStudy(t), serverConfig{
+		progressEvery: time.Hour,
+		cluster:       clusterConfig{workers: []string{ts.URL}, shards: 2, hedgeAfter: -1},
+	})
+	w := do(t, coord.handler(), http.MethodPost, "/api/v2/sweep/stream?timeout_ms=150",
+		`{"tiers":[{"role":"web","min":1,"max":6}]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status = %d: %s", w.Code, w.Body)
+	}
+	lines := ndjsonLines(t, w.Body.String())
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"reason":"budget_exhausted"`) {
+		t.Fatalf("trailer = %q, want a budget_exhausted error", last)
+	}
+}
+
+// TestReadyzGates: /readyz is 503 until every startup gate completes
+// (in worker mode, until main marks the listener bound), 200 when
+// ready, and 503 again once draining — while /healthz stays pure
+// liveness throughout.
+func TestReadyzGates(t *testing.T) {
+	// A plain server is ready the moment construction returns: its
+	// cache restore and scenario registration are synchronous.
+	s := mustServer(t, newStudy(t), serverConfig{})
+	if w := do(t, s.handler(), http.MethodGet, "/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("plain readyz status = %d: %s", w.Code, w.Body)
+	}
+
+	ws := mustServer(t, newStudy(t), serverConfig{workerMode: true})
+	h := ws.handler()
+	w := do(t, h, http.MethodGet, "/readyz", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "worker") {
+		t.Fatalf("unbound worker readyz = %d %s, want 503 naming the worker gate", w.Code, w.Body)
+	}
+	if w := do(t, h, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d while not ready, want 200 (pure liveness)", w.Code)
+	}
+	ws.ready.ready(gateWorker)
+	if w := do(t, h, http.MethodGet, "/readyz", ""); w.Code != http.StatusOK {
+		t.Fatalf("ready worker readyz status = %d: %s", w.Code, w.Body)
+	}
+	ws.ready.drain()
+	w = do(t, h, http.MethodGet, "/readyz", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("draining readyz = %d %s, want 503 draining", w.Code, w.Body)
+	}
+	if w := do(t, h, http.MethodGet, "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d while draining, want 200 (pure liveness)", w.Code)
+	}
+}
+
+// TestPersistBackoffBounds: the persistence retry delay is full jitter
+// — strictly positive, never above min(1s<<(n-1), interval) — rather
+// than a deterministic ladder that retries a shared disk in lockstep.
+func TestPersistBackoffBounds(t *testing.T) {
+	const interval = 10 * time.Second
+	for retries := 1; retries <= 12; retries++ {
+		upper := time.Second << min(retries-1, 20)
+		if upper > interval {
+			upper = interval
+		}
+		for i := 0; i < 200; i++ {
+			d := persistBackoff(retries, interval)
+			if d <= 0 || d > upper {
+				t.Fatalf("retry %d: delay %v outside (0, %v]", retries, d, upper)
+			}
+		}
+	}
+}

@@ -458,27 +458,73 @@ func (s *server) handleParetoV2(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// sweepTrailer is the NDJSON done trailer both sweep-stream paths —
+// local and cluster — build, so a distributed sweep's final line is
+// byte-identical to a single process's: total designs enumerated, kept
+// reports, and the Pareto front over them (whose order is a pure
+// function of its members, so merge order cannot show through).
+func sweepTrailer(scenario string, total, kept int, reports []redpatch.DesignReport) map[string]any {
+	return map[string]any{
+		"done":     true,
+		"scenario": scenario,
+		"total":    total,
+		"kept":     kept,
+		"pareto":   redpatch.Pareto(reports),
+	}
+}
+
 // handleSweepStream streams sweep results as NDJSON: one report object
 // per line in completion order, flushed as each design finishes,
 // periodic {"progress":true,...} events with done/total counts, the
 // cache-hit ratio and an ETA (at most one per progressEvery), then a
-// {"done":true,...} trailer. Client disconnects cancel the sweep through
-// the request context. Errors after the first byte cannot change the
-// status code; they surface as an {"error":...,"reason":...} trailer
-// line instead (reason "budget_exhausted" for an expired request
-// deadline, "canceled", or "internal"). Every stream therefore ends in
-// exactly one explicit done or error line.
+// {"done":true,...} trailer carrying the Pareto front. Client
+// disconnects cancel the sweep through the request context. Errors
+// after the first byte cannot change the status code; they surface as
+// an {"error":...,"reason":...} trailer line instead (reason
+// "budget_exhausted" for an expired request deadline, "canceled", or
+// "internal"). Every stream therefore ends in exactly one explicit
+// done or error line.
+//
+// In coordinator mode the sweep is sharded across the worker fleet
+// (see streamClusterSweep) and the route registers without the sweep
+// limiter: a distributed run spends worker capacity, not local solver
+// slots. Admission applies in-handler exactly when the sweep will run
+// locally — an explicit shard request aimed at this process, or a
+// fleet with every worker circuit open, where a full limiter answers
+// 429 with the same Retry-After estimate a plain overloaded daemon
+// gives instead of a bare failure.
 func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 	sc, req, err := s.scenarioSweep(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if s.coord != nil {
+		if req.Shard == nil && s.coord.WorkersAvailable() {
+			s.streamClusterSweep(w, r, sc, req)
+			return
+		}
+		if l := s.adm.sweep; l != nil {
+			release, err := l.Acquire(r.Context())
+			if err != nil {
+				s.shed(w, r, l, "POST /api/v2/sweep/stream", err)
+				return
+			}
+			defer release()
+		}
+	}
+	s.streamLocalSweep(w, r, sc, req)
+}
+
+// streamLocalSweep runs the sweep on this process's own engine — the
+// only path in a plain single-process daemon, and the worker/fallback
+// path in a cluster.
+func (s *server) streamLocalSweep(w http.ResponseWriter, r *http.Request, sc *scenario, req redpatch.SpecSweepRequest) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not batch the stream
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w) // compact: one JSON object per line
-	kept := 0
+	var reports []redpatch.DesignReport
 	// Progress runs on the same collector goroutine as the per-report
 	// callback, so both share the encoder without locking. The cache-hit
 	// ratio is computed from the engine-stats delta since the sweep
@@ -511,7 +557,7 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	total, err := sc.study.SweepSpecEachProgress(r.Context(), req, func(rep redpatch.DesignReport) error {
-		kept++
+		reports = append(reports, rep)
 		if err := enc.Encode(rep); err != nil {
 			return err
 		}
@@ -524,5 +570,5 @@ func (s *server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(streamErrorTrailer(err))
 		return
 	}
-	_ = enc.Encode(map[string]any{"done": true, "scenario": sc.name, "total": total, "kept": kept})
+	_ = enc.Encode(sweepTrailer(sc.name, total, len(reports), reports))
 }

@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redpatch/internal/faultinject"
+)
+
+// fakeSpace is a deterministic 40-design space partitioned by a
+// trivial modulo; the tests' stand-in for the real hash partition.
+const fakeSpaceSize = 40
+
+func fakeShardKeys(s Shard) []string {
+	var keys []string
+	for i := 0; i < fakeSpaceSize; i++ {
+		if i%s.Count == s.Index {
+			keys = append(keys, fmt.Sprintf("design-%02d", i))
+		}
+	}
+	return keys
+}
+
+// fakeJob renders shard bodies as JSON and evaluates locally from the
+// same deterministic space.
+func fakeJob(t *testing.T, localRuns *atomic.Int64) Job {
+	t.Helper()
+	return Job{
+		Body: func(s Shard) ([]byte, error) { return json.Marshal(s) },
+		Local: func(ctx context.Context, s Shard, emit func(Report) error) (int, error) {
+			if localRuns != nil {
+				localRuns.Add(1)
+			}
+			keys := fakeShardKeys(s)
+			for _, k := range keys {
+				if err := emit(Report{Key: k, Line: []byte(`{"local":"` + k + `"}`)}); err != nil {
+					return 0, err
+				}
+			}
+			return len(keys), nil
+		},
+	}
+}
+
+// fakeWorker replays the fake space remotely; fail(n) can inject a
+// failure on the n-th RunShard call (1-based), optionally after
+// emitting a partial prefix.
+type fakeWorker struct {
+	name string
+
+	mu        sync.Mutex
+	calls     int
+	failCalls map[int]int // call number -> emit this many reports, then fail
+	unhealthy bool
+	delay     time.Duration
+}
+
+func (w *fakeWorker) Name() string { return w.name }
+
+func (w *fakeWorker) Healthy(ctx context.Context) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.unhealthy {
+		return errors.New("unhealthy")
+	}
+	return nil
+}
+
+func (w *fakeWorker) RunShard(ctx context.Context, body []byte, emit func(Report) error) (int, error) {
+	var s Shard
+	if err := json.Unmarshal(body, &s); err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	w.calls++
+	call := w.calls
+	partial, fail := -1, false
+	if n, ok := w.failCalls[call]; ok {
+		partial, fail = n, true
+	}
+	delay := w.delay
+	w.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	keys := fakeShardKeys(s)
+	for i, k := range keys {
+		if fail && i == partial {
+			return 0, fmt.Errorf("worker %s: injected mid-shard death", w.name)
+		}
+		if err := emit(Report{Key: k, Line: []byte(`{"remote":"` + k + `"}`)}); err != nil {
+			return 0, err
+		}
+	}
+	if fail && partial >= len(keys) {
+		return 0, fmt.Errorf("worker %s: injected post-emit death", w.name)
+	}
+	return len(keys), nil
+}
+
+// collect runs a sweep and returns the deduplicated keys emitted.
+func collect(t *testing.T, c *Coordinator, job Job, shards int) (map[string]bool, int, int) {
+	t.Helper()
+	seen := make(map[string]bool)
+	total, kept, err := c.Sweep(context.Background(), job, shards, func(r Report) error {
+		if seen[r.Key] {
+			t.Fatalf("duplicate emission for %s", r.Key)
+		}
+		seen[r.Key] = true
+		return nil
+	}, nil)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	return seen, total, kept
+}
+
+func testOptions() Options {
+	return Options{
+		ShardTimeout:     5 * time.Second,
+		MaxAttempts:      3,
+		BackoffBase:      time.Millisecond,
+		BackoffCap:       5 * time.Millisecond,
+		HedgeAfter:       -1, // off unless a test enables it
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+		ProbeInterval:    10 * time.Millisecond,
+	}
+}
+
+func TestSweepAllRemote(t *testing.T) {
+	w1 := &fakeWorker{name: "w1"}
+	w2 := &fakeWorker{name: "w2"}
+	c := New([]Worker{w1, w2}, testOptions())
+	seen, total, kept := collect(t, c, fakeJob(t, nil), 4)
+	if total != fakeSpaceSize || kept != fakeSpaceSize || len(seen) != fakeSpaceSize {
+		t.Fatalf("total=%d kept=%d seen=%d, want %d each", total, kept, len(seen), fakeSpaceSize)
+	}
+	if w1.calls+w2.calls != 4 {
+		t.Fatalf("expected 4 shard dispatches, got %d + %d", w1.calls, w2.calls)
+	}
+	if s := c.Stats(); s.ShardsDone != 4 || s.LocalFallbacks != 0 {
+		t.Fatalf("stats = %+v, want 4 shards done, 0 fallbacks", s)
+	}
+}
+
+func TestSweepRetriesMidShardDeathWithoutDuplicates(t *testing.T) {
+	// Worker 1 dies mid-shard on its first call after emitting a
+	// partial prefix; the shard is reassigned and the duplicate
+	// prefix is deduplicated.
+	w1 := &fakeWorker{name: "w1", failCalls: map[int]int{1: 3}}
+	w2 := &fakeWorker{name: "w2"}
+	c := New([]Worker{w1, w2}, testOptions())
+	seen, total, kept := collect(t, c, fakeJob(t, nil), 2)
+	if total != fakeSpaceSize || kept != fakeSpaceSize || len(seen) != fakeSpaceSize {
+		t.Fatalf("total=%d kept=%d seen=%d, want %d each", total, kept, len(seen), fakeSpaceSize)
+	}
+	if s := c.Stats(); s.Retries == 0 {
+		t.Fatalf("expected at least one retry, stats = %+v", s)
+	}
+}
+
+func TestSweepNoWorkersRunsLocal(t *testing.T) {
+	var localRuns atomic.Int64
+	c := New(nil, testOptions())
+	if c.WorkersAvailable() {
+		t.Fatal("no workers configured but WorkersAvailable")
+	}
+	seen, total, kept := collect(t, c, fakeJob(t, &localRuns), 8)
+	if total != fakeSpaceSize || kept != fakeSpaceSize || len(seen) != fakeSpaceSize {
+		t.Fatalf("total=%d kept=%d seen=%d, want %d each", total, kept, len(seen), fakeSpaceSize)
+	}
+	// The whole sweep degrades to ONE local shard covering the full
+	// space — the byte-identity guarantee, not 8 local shards.
+	if got := localRuns.Load(); got != 1 {
+		t.Fatalf("local evaluator ran %d times, want 1", got)
+	}
+	if s := c.Stats(); s.LocalFallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 local fallback", s)
+	}
+}
+
+func TestShardFallsBackLocalWhenAttemptsExhausted(t *testing.T) {
+	// A single worker that always dies: every attempt fails, the
+	// breaker opens, and each shard completes via local fallback.
+	w1 := &fakeWorker{name: "w1", failCalls: map[int]int{1: 0, 2: 0, 3: 0, 4: 0, 5: 0, 6: 0, 7: 0, 8: 0}}
+	var localRuns atomic.Int64
+	c := New([]Worker{w1}, testOptions())
+	seen, total, kept := collect(t, c, fakeJob(t, &localRuns), 2)
+	if total != fakeSpaceSize || kept != fakeSpaceSize || len(seen) != fakeSpaceSize {
+		t.Fatalf("total=%d kept=%d seen=%d, want %d each", total, kept, len(seen), fakeSpaceSize)
+	}
+	if localRuns.Load() == 0 {
+		t.Fatal("expected local fallback runs")
+	}
+	st := c.Stats()
+	if st.Workers[0].Failures == 0 {
+		t.Fatalf("worker failures not recorded: %+v", st)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	opts := testOptions()
+	w1 := &fakeWorker{name: "w1", unhealthy: true}
+	c := New([]Worker{w1}, opts)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.Start(ctx)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for c.WorkersAvailable() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.WorkersAvailable() {
+		t.Fatal("circuit never opened for unhealthy worker")
+	}
+	w1.mu.Lock()
+	w1.unhealthy = false
+	w1.mu.Unlock()
+	deadline = time.Now().Add(2 * time.Second)
+	for !c.WorkersAvailable() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !c.WorkersAvailable() {
+		t.Fatal("circuit never closed after worker recovered")
+	}
+}
+
+func TestHedgeRacesStraggler(t *testing.T) {
+	opts := testOptions()
+	opts.HedgeAfter = 10 * time.Millisecond
+	w1 := &fakeWorker{name: "slow", delay: 2 * time.Second}
+	w2 := &fakeWorker{name: "fast"}
+	c := New([]Worker{w1, w2}, opts)
+	// One shard: it lands on the idle pick (configuration order → w1,
+	// the slow worker), straggles, and the hedge onto w2 wins.
+	start := time.Now()
+	seen, total, _ := collect(t, c, fakeJob(t, nil), 1)
+	if total != fakeSpaceSize || len(seen) != fakeSpaceSize {
+		t.Fatalf("total=%d seen=%d, want %d", total, len(seen), fakeSpaceSize)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not race the straggler: sweep took %v", elapsed)
+	}
+	if s := c.Stats(); s.Hedges != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 hedge", s)
+	}
+}
+
+func TestSweepChaosDispatchSite(t *testing.T) {
+	inj := faultinject.New(7)
+	inj.Configure(ChaosSiteDispatch, faultinject.Site{ErrProb: 0.5})
+	opts := testOptions()
+	opts.Chaos = inj
+	w1 := &fakeWorker{name: "w1"}
+	w2 := &fakeWorker{name: "w2"}
+	c := New([]Worker{w1, w2}, opts)
+	seen, total, kept := collect(t, c, fakeJob(t, nil), 6)
+	if total != fakeSpaceSize || kept != fakeSpaceSize || len(seen) != fakeSpaceSize {
+		t.Fatalf("total=%d kept=%d seen=%d, want %d each", total, kept, len(seen), fakeSpaceSize)
+	}
+	if inj.Counts(ChaosSiteDispatch).Errors == 0 {
+		t.Fatal("chaos site never fired")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	w1 := &fakeWorker{name: "w1", delay: 10 * time.Second}
+	c := New([]Worker{w1}, testOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Sweep(ctx, fakeJob(t, nil), 2, func(Report) error { return nil }, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled sweep returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled sweep did not return")
+	}
+}
+
+func TestSweepEmitErrorCancels(t *testing.T) {
+	w1 := &fakeWorker{name: "w1"}
+	c := New([]Worker{w1}, testOptions())
+	sentinel := errors.New("stop")
+	n := 0
+	_, _, err := c.Sweep(context.Background(), fakeJob(t, nil), 2, func(Report) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	}, nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestSweepProgressReportsShardCompletions(t *testing.T) {
+	w1 := &fakeWorker{name: "w1"}
+	c := New([]Worker{w1}, testOptions())
+	var marks []int
+	_, _, err := c.Sweep(context.Background(), fakeJob(t, nil), 4, func(Report) error { return nil }, func(done int) {
+		marks = append(marks, done)
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(marks) != 4 || marks[len(marks)-1] != fakeSpaceSize {
+		t.Fatalf("progress marks = %v, want 4 ending at %d", marks, fakeSpaceSize)
+	}
+	for i := 1; i < len(marks); i++ {
+		if marks[i] <= marks[i-1] {
+			t.Fatalf("progress not monotone: %v", marks)
+		}
+	}
+}
+
+// TestHTTPWorkerRunShard exercises the NDJSON protocol parse: report
+// lines keyed by spec, progress skipped, done trailer terminates,
+// error trailer and truncated streams fail.
+func TestHTTPWorkerRunShard(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Name":"1d1w","Spec":{"name":"1d1w","tiers":[{"role":"dns","replicas":1},{"role":"web","replicas":2}]},"COA":0.99}`,
+		`{"progress":true,"done":1,"total":2}`,
+		`{"Name":"1d2w","Spec":{"name":"1d2w","tiers":[{"role":"dns","replicas":1},{"role":"web","replicas":3,"variant":"webalt"}]},"COA":0.98}`,
+		`{"done":true,"scenario":"default","total":2,"kept":2}`,
+	}, "\n") + "\n"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/readyz":
+			w.WriteHeader(http.StatusOK)
+		case "/api/v2/sweep/stream":
+			fmt.Fprint(w, stream)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	w := NewHTTPWorker(srv.URL, srv.Client())
+	if err := w.Healthy(context.Background()); err != nil {
+		t.Fatalf("Healthy: %v", err)
+	}
+	var got []Report
+	total, err := w.RunShard(context.Background(), []byte(`{}`), func(r Report) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunShard: %v", err)
+	}
+	if total != 2 || len(got) != 2 {
+		t.Fatalf("total=%d reports=%d, want 2 and 2", total, len(got))
+	}
+	if got[0].Key != "dns:1;web:2" || got[1].Key != "dns:1;web/webalt:3" {
+		t.Fatalf("keys = %q, %q", got[0].Key, got[1].Key)
+	}
+	if !strings.Contains(string(got[1].Line), `"COA":0.98`) {
+		t.Fatalf("line not forwarded verbatim: %s", got[1].Line)
+	}
+}
+
+func TestHTTPWorkerErrors(t *testing.T) {
+	cases := map[string]string{
+		"error trailer":  `{"error":"boom","reason":"internal"}` + "\n",
+		"truncated":      `{"Name":"x","Spec":{"tiers":[{"role":"dns","replicas":1}]}}` + "\n",
+		"unrecognized":   `{"mystery":1}` + "\n",
+		"malformed":      "not json\n",
+		"empty, no done": "",
+	}
+	for name, stream := range cases {
+		t.Run(name, func(t *testing.T) {
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				fmt.Fprint(w, stream)
+			}))
+			defer srv.Close()
+			w := NewHTTPWorker(srv.URL, srv.Client())
+			if _, err := w.RunShard(context.Background(), nil, func(Report) error { return nil }); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+	t.Run("non-200", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+		}))
+		defer srv.Close()
+		w := NewHTTPWorker(srv.URL, srv.Client())
+		if _, err := w.RunShard(context.Background(), nil, func(Report) error { return nil }); err == nil || !strings.Contains(err.Error(), "400") {
+			t.Fatalf("err = %v, want a 400", err)
+		}
+	})
+	t.Run("not ready", func(t *testing.T) {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+		}))
+		defer srv.Close()
+		w := NewHTTPWorker(srv.URL, srv.Client())
+		if err := w.Healthy(context.Background()); err == nil {
+			t.Fatal("expected not-ready error")
+		}
+	})
+}

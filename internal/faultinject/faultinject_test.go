@@ -172,3 +172,62 @@ func TestConcurrentHits(t *testing.T) {
 		t.Errorf("hits = %d, want 2000", n.Hits)
 	}
 }
+
+// TestConcurrentDeterministicStreams: every hit consumes its site's
+// PRNG draws under the injector lock, so a parallel hit storm produces
+// exactly the fault totals of a serial replay with the same seed — not
+// just statistically similar ones — and one site's traffic never
+// perturbs another's stream. (Which goroutine takes the k-th hit is
+// scheduling-dependent; which fault the k-th hit fires is not.)
+func TestConcurrentDeterministicStreams(t *testing.T) {
+	const (
+		seed    = 17
+		workers = 16
+		perW    = 125
+		total   = workers * perW
+	)
+	cfg := map[string]Site{
+		"a": {ErrProb: 0.25},
+		"b": {ErrProb: 0.75, LatencyProb: 0.1, Latency: time.Nanosecond},
+	}
+	run := func(parallel bool) map[string]Counts {
+		in := New(seed)
+		for name, c := range cfg {
+			in.Configure(name, c)
+		}
+		if parallel {
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						_ = in.Hit("a")
+						_ = in.Hit("b")
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < total; i++ {
+				_ = in.Hit("a")
+				_ = in.Hit("b")
+			}
+		}
+		return map[string]Counts{"a": in.Counts("a"), "b": in.Counts("b")}
+	}
+	serial := run(false)
+	concurrent := run(true)
+	for name := range cfg {
+		if concurrent[name].Hits != uint64(total) {
+			t.Errorf("site %q: concurrent hits = %d, want exactly %d", name, concurrent[name].Hits, total)
+		}
+		if serial[name] != concurrent[name] {
+			t.Errorf("site %q: concurrent counts %+v diverged from serial same-seed replay %+v",
+				name, concurrent[name], serial[name])
+		}
+	}
+	if serial["a"].Errors == 0 || serial["b"].Errors == 0 || serial["b"].Delays == 0 {
+		t.Errorf("replay exercised no faults: %+v", serial)
+	}
+}

@@ -9,9 +9,16 @@
 # provenance, and that the mixed-version rollout endpoint streams a
 # frontier. Leaves traces.json in the working directory for artifact
 # upload.
+#
+# Then the cluster smoke: a coordinator sharding a sweep over two
+# worker processes, one of which is SIGKILLed mid-sweep — the stream
+# must still end in a done trailer byte-identical to a single-process
+# run of the same sweep.
 set -euo pipefail
 
 ADDR=${ADDR:-127.0.0.1:18080}
+W1=${W1:-127.0.0.1:18081}
+W2=${W2:-127.0.0.1:18082}
 BIN=${BIN:-/tmp/redpatchd}
 
 go build -o "$BIN" ./cmd/redpatchd
@@ -24,6 +31,18 @@ wait_healthz() {
     sleep 0.2
   done
   echo "daemon on $ADDR never became healthy" >&2
+  return 1
+}
+
+# Readiness, not liveness: workers must pass /readyz (cache restored,
+# scenarios registered, listener bound) before the coordinator may
+# dispatch to them.
+wait_ready() {
+  for _ in $(seq 1 50); do
+    curl -sf "$1/readyz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "daemon on $1 never became ready" >&2
   return 1
 }
 
@@ -75,3 +94,58 @@ echo "$ROLLOUT" | grep -F '"frontier"' >/dev/null
 kill -TERM "$PID"
 wait "$PID"
 echo "warm-cache restart + trace + rollout surfaces verified"
+
+# ── Cluster smoke: coordinator + 2 workers, one SIGKILLed mid-sweep ──
+
+# 256 designs; each worker's evaluator is slowed by 50ms of injected
+# latency per design so the sweep is reliably still in flight when the
+# worker dies.
+SWEEP='{"tiers":[{"role":"web","min":1,"max":16},{"role":"app","min":1,"max":16}]}'
+
+# Single-process baseline trailer for the same sweep.
+"$BIN" -addr "$ADDR" &
+PID=$!
+wait_ready "$ADDR"
+BASE=$(curl -sf -X POST "$ADDR/api/v2/sweep/stream" -d "$SWEEP" | tail -n 1)
+kill -TERM "$PID"
+wait "$PID"
+echo "$BASE" | grep -F '"done":true' >/dev/null
+
+"$BIN" -worker -addr "$W1" -chaos-seed 1 -chaos-site "evaluate,0,1,50,0" &
+WPID1=$!
+"$BIN" -worker -addr "$W2" -chaos-seed 2 -chaos-site "evaluate,0,1,50,0" &
+WPID2=$!
+"$BIN" -addr "$ADDR" -cluster-workers "$W1,$W2" -cluster-shards 8 &
+PID=$!
+wait_ready "$W1"
+wait_ready "$W2"
+wait_ready "$ADDR"
+
+curl -sf -X POST "$ADDR/api/v2/sweep/stream" -d "$SWEEP" >cluster_sweep.out &
+CURL=$!
+sleep 1
+kill -KILL "$WPID1"
+wait "$WPID1" || true
+wait "$CURL"
+
+CLUSTER=$(tail -n 1 cluster_sweep.out)
+echo "$CLUSTER" | grep -F '"done":true' >/dev/null
+if [ "$CLUSTER" != "$BASE" ]; then
+  echo "cluster trailer diverged from single-process baseline:" >&2
+  echo " cluster: $CLUSTER" >&2
+  echo "baseline: $BASE" >&2
+  exit 1
+fi
+# The fleet actually did the work before the kill: shards were
+# dispatched, and losing a worker mid-shard forced a retry or a local
+# fallback.
+CMETRICS=$(curl -s "$ADDR/metrics")
+echo "$CMETRICS" | grep -E 'redpatchd_cluster_dispatches_total [1-9]' >/dev/null
+echo "$CMETRICS" | grep -E 'redpatchd_cluster_(retries|local_fallbacks)_total [1-9]' >/dev/null
+
+kill -TERM "$PID"
+wait "$PID"
+kill -TERM "$WPID2"
+wait "$WPID2"
+rm -f cluster_sweep.out
+echo "cluster sweep survived a worker SIGKILL byte-identical to single-process"
